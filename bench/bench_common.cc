@@ -1,0 +1,85 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+namespace bench
+{
+
+void
+banner(const std::string &experiment_id, const std::string &title,
+       const std::string &paper_summary)
+{
+    // Bench binaries run quiet: status chatter would drown the tables.
+    informEnabled = false;
+    std::printf("\n==============================================="
+                "=========================\n");
+    std::printf("%s -- %s\n", experiment_id.c_str(), title.c_str());
+    std::printf("Paper reports: %s\n", paper_summary.c_str());
+    std::printf("================================================"
+                "========================\n");
+}
+
+void
+printSpeedupTable(const SuiteResult &baseline,
+                  const std::vector<SuiteResult> &configs)
+{
+    TextTable table;
+    std::vector<std::string> header = {"app"};
+    for (const SuiteResult &cfg : configs)
+        header.push_back(cfg.label);
+    table.setHeader(header);
+
+    for (const AppResult &entry : baseline.apps) {
+        std::vector<std::string> row = {entry.app};
+        for (const SuiteResult &cfg : configs)
+            row.push_back(
+                TextTable::pct(speedupPct(cfg.forApp(entry.app), entry)));
+        table.addRow(row);
+    }
+    std::vector<std::string> avg = {"AVERAGE"};
+    for (const SuiteResult &cfg : configs)
+        avg.push_back(TextTable::pct(meanSpeedupPct(cfg, baseline)));
+    table.addRow(avg);
+    table.print();
+}
+
+void
+printEnergyTable(const SuiteResult &baseline,
+                 const std::vector<SuiteResult> &configs)
+{
+    TextTable table;
+    std::vector<std::string> header = {"app"};
+    for (const SuiteResult &cfg : configs)
+        header.push_back(cfg.label + " dE");
+    table.setHeader(header);
+
+    for (const AppResult &entry : baseline.apps) {
+        std::vector<std::string> row = {entry.app};
+        for (const SuiteResult &cfg : configs)
+            row.push_back(TextTable::pct(
+                energyDeltaPct(cfg.forApp(entry.app), entry)));
+        table.addRow(row);
+    }
+    std::vector<std::string> avg = {"AVERAGE"};
+    for (const SuiteResult &cfg : configs)
+        avg.push_back(TextTable::pct(meanEnergyDeltaPct(cfg, baseline)));
+    table.addRow(avg);
+    table.print();
+}
+
+const std::vector<std::string> &
+sweepApps()
+{
+    static const std::vector<std::string> apps = {
+        "adpcm_d", "blowfish", "crc32",  "fft",
+        "g721d",   "jpegd",    "susans", "typeset",
+    };
+    return apps;
+}
+
+} // namespace bench
+} // namespace kagura

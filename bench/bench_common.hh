@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table bench binaries: standard
+ * header banners, suite-comparison tables, and the canonical
+ * configuration builders. Every binary prints (a) the paper's reported
+ * numbers for its experiment and (b) our measured reproduction, in the
+ * same rows/series layout as the paper.
+ */
+
+#ifndef KAGURA_BENCH_BENCH_COMMON_HH
+#define KAGURA_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+namespace kagura
+{
+namespace bench
+{
+
+/** Print the standard experiment banner. */
+void banner(const std::string &experiment_id, const std::string &title,
+            const std::string &paper_summary);
+
+/**
+ * Print a per-app comparison table: one row per application, one
+ * column per configuration, cells = speedup (%) over the baseline
+ * suite, plus an average row.
+ */
+void printSpeedupTable(const SuiteResult &baseline,
+                       const std::vector<SuiteResult> &configs);
+
+/** Per-app + average energy-delta (%) table against the baseline. */
+void printEnergyTable(const SuiteResult &baseline,
+                      const std::vector<SuiteResult> &configs);
+
+/**
+ * A reduced application list for the expensive multi-configuration
+ * sweeps (sensitivity studies); spans compressible/incompressible and
+ * memory-/compute-bound corners of the suite.
+ */
+const std::vector<std::string> &sweepApps();
+
+} // namespace bench
+} // namespace kagura
+
+#endif // KAGURA_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Host-side microbenchmarks (google-benchmark) for the compression
+ * kit: compression/decompression throughput per algorithm on the
+ * characteristic block patterns. These are simulator-infrastructure
+ * benchmarks (how fast the *model* runs), not EHS results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+#include "compress/compressor.hh"
+
+using namespace kagura;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+block(int pattern, std::uint64_t seed)
+{
+    std::vector<std::uint8_t> data(32, 0);
+    Rng rng(seed);
+    switch (pattern) {
+      case 0: // zeros
+        break;
+      case 1: // small ints
+        for (std::size_t i = 0; i < 32; i += 4) {
+            const std::uint32_t v =
+                static_cast<std::uint32_t>(rng.below(100));
+            std::memcpy(data.data() + i, &v, 4);
+        }
+        break;
+      default: // random
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.next());
+        break;
+    }
+    return data;
+}
+
+void
+compressThroughput(benchmark::State &state)
+{
+    auto comp = makeCompressor(
+        static_cast<CompressorKind>(state.range(0)));
+    const auto data = block(static_cast<int>(state.range(1)), 42);
+    for (auto _ : state) {
+        const CompressionResult result = comp->compress(data);
+        benchmark::DoNotOptimize(result.sizeBits);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 32);
+}
+
+void
+roundTripThroughput(benchmark::State &state)
+{
+    auto comp = makeCompressor(
+        static_cast<CompressorKind>(state.range(0)));
+    const auto data = block(1, 7);
+    const CompressionResult result = comp->compress(data);
+    for (auto _ : state) {
+        auto restored = comp->decompress(result.payload, 32);
+        benchmark::DoNotOptimize(restored.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 32);
+}
+
+} // namespace
+
+BENCHMARK(compressThroughput)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2}})
+    ->ArgNames({"algo", "pattern"});
+BENCHMARK(roundTripThroughput)
+    ->DenseRange(0, 3)
+    ->ArgName("algo");
+
+BENCHMARK_MAIN();

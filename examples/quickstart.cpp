@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: simulate one application on the Table I platform in
+ * three flavours -- no compression, ACC, and ACC+Kagura -- and print
+ * the headline metrics (execution time, energy, power cycles, cache
+ * behaviour, Kagura activity).
+ *
+ * Usage: quickstart [app]   (default: crc32; see the printed list)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hh"
+
+using namespace kagura;
+
+namespace
+{
+
+void
+report(const char *label, const SimResult &r, const SimResult *baseline)
+{
+    std::printf("\n--- %s ---\n", label);
+    std::printf("  wall time         : %.3f ms\n",
+                static_cast<double>(r.wallCycles) * 5e-6);
+    std::printf("  active cycles     : %llu\n",
+                static_cast<unsigned long long>(r.activeCycles));
+    std::printf("  committed instrs  : %llu\n",
+                static_cast<unsigned long long>(r.committedInstructions));
+    std::printf("  power failures    : %llu\n",
+                static_cast<unsigned long long>(r.powerFailures));
+    std::printf("  instrs/power cycle: %.0f\n", r.instructionsPerCycle());
+    std::printf("  total energy      : %.2f uJ\n",
+                r.ledger.grandTotal() * 1e-6);
+    std::printf("  icache miss rate  : %.2f%%\n",
+                r.icache.missRate() * 100.0);
+    std::printf("  dcache miss rate  : %.2f%%\n",
+                r.dcache.missRate() * 100.0);
+    std::printf("  compressions      : %llu\n",
+                static_cast<unsigned long long>(r.compressions()));
+    std::printf("  compress energy   : %.2f%% of total\n",
+                r.ledger.total(EnergyCategory::Compress) /
+                    r.ledger.grandTotal() * 100.0);
+    if (r.kagura.modeSwitches > 0)
+        std::printf("  Kagura RM switches: %llu (%llu mem ops in RM)\n",
+                    static_cast<unsigned long long>(r.kagura.modeSwitches),
+                    static_cast<unsigned long long>(r.kagura.memOpsInRm));
+    if (baseline) {
+        std::printf("  speedup vs base   : %+.2f%%\n",
+                    speedupPct(r, *baseline));
+        std::printf("  energy vs base    : %+.2f%%\n",
+                    energyDeltaPct(r, *baseline));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "crc32";
+
+    std::printf("Kagura quickstart -- app '%s' on the Table I platform\n",
+                app.c_str());
+    std::printf("(available apps:");
+    for (const std::string &name : workloadNames())
+        std::printf(" %s", name.c_str());
+    std::printf(")\n");
+
+    Simulator base_sim(baselineConfig(app));
+    const SimResult base = base_sim.run();
+    report("NVSRAMCache baseline (no compression)", base, nullptr);
+
+    Simulator acc_sim(accConfig(app));
+    const SimResult acc = acc_sim.run();
+    report("ACC (BDI)", acc, &base);
+
+    Simulator kagura_sim(accKaguraConfig(app));
+    const SimResult kag = kagura_sim.run();
+    report("ACC + Kagura", kag, &base);
+
+    return 0;
+}

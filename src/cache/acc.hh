@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Adaptive Cache Compression controller [10] (Section II-C).
+ *
+ * A Global Compression Predictor (GCP) -- one signed saturating counter
+ * -- integrates the benefit and harm of compression observed through
+ * the shadow tags: avoided misses credit the miss-vs-decompression cost
+ * ratio, wasted decompressions debit one unit. Compression stays on
+ * while the counter is positive.
+ */
+
+#ifndef KAGURA_CACHE_ACC_HH
+#define KAGURA_CACHE_ACC_HH
+
+#include <cstdint>
+
+#include "cache/governor.hh"
+
+namespace kagura
+{
+
+/** ACC configuration. */
+struct AccConfig
+{
+    /**
+     * Credit per compression-enabled hit, the ratio of the miss
+     * penalty to the decompression penalty (ACC's paper uses the
+     * L2-miss / decompression-latency ratio; our default reflects the
+     * NVM-miss vs decompression energy ratio at Table I scale:
+     * ~140 pJ per avoided block read vs 0.65 pJ per decompression).
+     */
+    std::int64_t benefitQuantum = 200;
+
+    /**
+     * Debit per wasted decompression. Scaled against benefitQuantum
+     * by energy: a wasted decompression costs ~0.65 pJ plus one stall
+     * cycle of platform standing power (~4 pJ), vs the ~170 pJ an
+     * avoided miss saves.
+     */
+    std::int64_t penaltyQuantum = 12;
+
+    /** Debit per incompressible compression attempt. */
+    std::int64_t incompressiblePenalty = 1;
+
+    /**
+     * Debit per store-forced recompression of a resident compressed
+     * line, scaled to its energy relative to a decompression
+     * (compressor pass + segment rewrite vs a ~0.65 pJ decompress).
+     */
+    std::int64_t recompressionPenalty = 27;
+
+    /** Saturation bound (|GCP| <= bound), 2^19 as in [10]. */
+    std::int64_t saturationBound = 1 << 19;
+
+    /**
+     * Datapath-engagement floor: the compressor keeps running (to
+     * keep learning) while GCP > runFloor; below it the working set
+     * has proven so hopeless that even the learning pass is gated.
+     */
+    std::int64_t runFloor = -64;
+
+    /**
+     * Initial GCP value after (re)boot; comfortably positive so each
+     * power cycle starts with compression enabled -- which is exactly
+     * the behaviour that loses energy to never-reused compressed
+     * blocks under frequent outages (Section IV) until Kagura
+     * intervenes.
+     */
+    std::int64_t initialValue = 64;
+};
+
+/** The ACC governor. */
+class AccController : public CompressionGovernor
+{
+  public:
+    explicit AccController(const AccConfig &config = AccConfig{});
+
+    bool shouldCompress(Addr) override { return gcp > 0; }
+
+    /** The compressor runs while the GCP is above the run floor. */
+    bool runCompressor(Addr) override { return gcp > cfg.runFloor; }
+
+    void noteCompressionEnabledHit(Addr addr) override;
+    void noteWastedDecompression(Addr addr) override;
+    void noteIncompressible(Addr addr) override;
+    void noteCompressionDisabledMiss(Addr addr) override;
+    void noteRecompression(Addr addr) override;
+
+    /** Current GCP value (tests, introspection). */
+    std::int64_t predictor() const { return gcp; }
+
+    /**
+     * Reset to the initial value (tests). At run time the GCP rides
+     * the JIT checkpoint into an NVFF like any other controller
+     * register, so it persists across power failures.
+     */
+    void reset();
+
+  private:
+    void saturate();
+
+    AccConfig cfg;
+    std::int64_t gcp;
+};
+
+} // namespace kagura
+
+#endif // KAGURA_CACHE_ACC_HH

@@ -1,0 +1,614 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace kagura
+{
+
+const char *
+replacementPolicyName(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::Lru:
+        return "LRU";
+      case ReplacementPolicy::Fifo:
+        return "FIFO";
+      case ReplacementPolicy::Random:
+        return "random";
+    }
+    panic("unknown ReplacementPolicy %d", static_cast<int>(policy));
+}
+
+namespace
+{
+
+/** Validate geometry before any member needs it. */
+const CacheConfig &
+validated(const CacheConfig &cfg)
+{
+    if (!isPowerOfTwo(cfg.blockSize))
+        fatal("block size must be a power of two (got %u)", cfg.blockSize);
+    if (cfg.ways == 0)
+        fatal("cache needs at least one way");
+    if (cfg.sizeBytes % (cfg.ways * cfg.blockSize) != 0 || cfg.sets() == 0)
+        fatal("cache size %u B is not divisible into %u-way sets of %u B "
+              "blocks", cfg.sizeBytes, cfg.ways, cfg.blockSize);
+    if (cfg.segmentBytes == 0 || cfg.blockSize % cfg.segmentBytes != 0)
+        fatal("segment size %u must divide the block size %u",
+              cfg.segmentBytes, cfg.blockSize);
+    return cfg;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config, Nvm &nvm,
+             const Compressor *compressor, CompressionGovernor *governor)
+    : cfg(validated(config)), mem(nvm), comp(compressor), gov(governor),
+      shadow(config.sets(), config.ways, config.blockSize)
+{
+    setArray.assign(cfg.sets(), Set{});
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr / cfg.blockSize) % cfg.sets());
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return (addr / cfg.blockSize) / cfg.sets();
+}
+
+Addr
+Cache::blockBase(Addr addr) const
+{
+    return addr / cfg.blockSize * cfg.blockSize;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    Set &set = setArray[setIndex(addr)];
+    const std::uint64_t tag = tagOf(addr);
+    for (Line &line : set) {
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+unsigned
+Cache::setOccupancy(const Set &set) const
+{
+    unsigned bytes = 0;
+    for (const Line &line : set) {
+        if (line.valid)
+            bytes += line.occupied;
+    }
+    return bytes;
+}
+
+unsigned
+Cache::roundToSegments(std::uint64_t bytes) const
+{
+    return static_cast<unsigned>(
+        ceilDiv(bytes, cfg.segmentBytes) * cfg.segmentBytes);
+}
+
+unsigned
+Cache::compressedFootprint(const std::vector<std::uint8_t> &data,
+                           bool &worthwhile) const
+{
+    kagura_assert(comp != nullptr);
+    const unsigned footprint = roundToSegments(comp->compressedBytes(data));
+    worthwhile = footprint < cfg.blockSize;
+    return worthwhile ? footprint : cfg.blockSize;
+}
+
+void
+Cache::writeback(Line &line, AccessOutcome &out)
+{
+    mem.writeBytes(line.base, line.data.data(), cfg.blockSize);
+    ++out.nvmBlockWrites;
+    mem.noteBlockWrite();
+    ++stat.writebacks;
+    line.dirty = false;
+}
+
+void
+Cache::evictLine(Set &set, Line &line, AccessOutcome &out)
+{
+    // A compressed block must be decompressed on its way out (Eq. 2's
+    // L term), whether it is written back or dropped.
+    if (line.compressed) {
+        ++out.decompressions;
+        ++stat.decompressions;
+    }
+    if (line.dirty)
+        writeback(line, out);
+
+    // Could compression have made room instead? True when the set
+    // still holds an uncompressed line that is not known to be
+    // incompressible (including the victim itself).
+    bool avoidable = false;
+    for (const Line &peer : set) {
+        if (peer.valid && !peer.compressed && !peer.incompressible) {
+            avoidable = true;
+            break;
+        }
+    }
+
+    line.valid = false;
+    line.occupied = 0;
+    ++out.evictions;
+    ++stat.evictions;
+    if (gov)
+        gov->noteEviction(line.base, avoidable);
+}
+
+void
+Cache::makeRoom(Set &set, unsigned needed, bool may_compress,
+                const Line *exclude, Cycles now, AccessOutcome &out)
+{
+    const unsigned capacity = cfg.ways * cfg.blockSize;
+    const std::size_t max_tags = 2 * cfg.ways;
+    kagura_assert(needed <= capacity);
+
+    auto free_bytes = [&]() { return capacity - setOccupancy(set); };
+    auto free_tag = [&]() {
+        std::size_t valid = 0;
+        for (const Line &line : set) {
+            if (line.valid)
+                ++valid;
+        }
+        return valid < max_tags;
+    };
+
+    // First, compress resident uncompressed lines (LRU-first) to carve
+    // out space -- this is the "compress existing blocks to make room"
+    // behaviour Section I describes, and exactly the work Kagura's
+    // Regular Mode avoids.
+    while (may_compress && comp && free_bytes() < needed) {
+        Line *victim = nullptr;
+        for (Line &line : set) {
+            if (!line.valid || line.compressed || line.incompressible ||
+                &line == exclude) {
+                continue;
+            }
+            if (gov && !gov->shouldCompress(line.base))
+                continue;
+            if (!victim || line.lastUse < victim->lastUse)
+                victim = &line;
+        }
+        if (!victim)
+            break;
+        bool worthwhile = false;
+        const unsigned footprint =
+            compressedFootprint(victim->data, worthwhile);
+        ++out.compressions;
+        ++stat.compressions;
+        if (!worthwhile) {
+            victim->incompressible = true;
+            if (gov)
+                gov->noteIncompressible(victim->base);
+            continue;
+        }
+        ++out.compactions;
+        ++stat.compactions;
+        if (gov)
+            gov->noteCompression(victim->base);
+        victim->compressed = true;
+        victim->occupied = footprint;
+    }
+
+    // Then evict lines until both space and a tag slot exist; EDBP's
+    // predicted-dead lines go first, then the configured policy.
+    while (free_bytes() < needed || !free_tag()) {
+        Line *victim = nullptr;
+        bool victim_dead = false;
+        std::uint64_t random_pick = 0;
+        if (cfg.replacement == ReplacementPolicy::Random) {
+            // Deterministic draw: hash the access counter.
+            std::uint64_t h = useCounter + 0x9e3779b97f4a7c15ULL;
+            random_pick = splitMix64(h);
+        }
+        std::size_t candidate_index = 0;
+        for (Line &line : set) {
+            if (!line.valid || &line == exclude)
+                continue;
+            const bool dead = decay && decay->isDead(line.lastTouch, now);
+            bool better = false;
+            if (!victim || (dead && !victim_dead)) {
+                better = true;
+            } else if (dead == victim_dead) {
+                switch (cfg.replacement) {
+                  case ReplacementPolicy::Lru:
+                    better = line.lastUse < victim->lastUse;
+                    break;
+                  case ReplacementPolicy::Fifo:
+                    better = line.inserted < victim->inserted;
+                    break;
+                  case ReplacementPolicy::Random:
+                    // Pick the candidate whose index matches the draw
+                    // (modulo the number of valid lines seen so far).
+                    better = (random_pick % (candidate_index + 1)) ==
+                             candidate_index;
+                    break;
+                }
+            }
+            if (better) {
+                victim = &line;
+                victim_dead = dead;
+            }
+            ++candidate_index;
+        }
+        kagura_assert(victim != nullptr);
+        evictLine(set, *victim, out);
+    }
+}
+
+void
+Cache::decaySweep(Set &set, Cycles now, AccessOutcome &out)
+{
+    if (!decay)
+        return;
+    for (Line &line : set) {
+        if (line.valid && line.dirty && decay->isDead(line.lastTouch, now)) {
+            // Predicted dead: persist it now so the checkpoint (and any
+            // later eviction) finds it clean.
+            if (line.compressed) {
+                ++out.decompressions;
+                ++stat.decompressions;
+            }
+            writeback(line, out);
+            decay->noteEagerWriteback();
+            ++stat.decayWritebacks;
+        }
+    }
+}
+
+Cache::Line &
+Cache::fillLine(Addr addr, Cycles now, AccessOutcome &out)
+{
+    Set &set = setArray[setIndex(addr)];
+    const Addr base = blockBase(addr);
+
+    // Fetch the block from NVM.
+    std::vector<std::uint8_t> data = mem.readBlock(base, cfg.blockSize);
+    ++out.nvmBlockReads;
+    mem.noteBlockRead();
+
+    // Engage the compressor datapath (energy is paid whenever it
+    // runs), then decide compressed placement separately.
+    const bool engage = comp && gov && gov->runCompressor(base);
+    const bool place = engage && gov->shouldCompress(base);
+    bool compressed = false;
+    unsigned footprint = cfg.blockSize;
+    if (engage) {
+        bool worthwhile = false;
+        const unsigned compact = compressedFootprint(data, worthwhile);
+        ++out.compressions;
+        ++stat.compressions;
+        shadow.setCompressible(base, worthwhile);
+        compressBias = std::clamp(compressBias + (worthwhile ? 1 : -1),
+                                  -64, 64);
+        if (!worthwhile)
+            gov->noteIncompressible(base);
+        if (place && worthwhile) {
+            compressed = true;
+            footprint = compact;
+            ++out.compactions;
+            ++stat.compactions;
+            gov->noteCompression(base);
+        }
+    }
+
+    makeRoom(set, footprint, place, nullptr, now, out);
+
+    // Reuse an invalid slot or append a new tag.
+    Line *slot = nullptr;
+    for (Line &line : set) {
+        if (!line.valid) {
+            slot = &line;
+            break;
+        }
+    }
+    if (!slot) {
+        set.emplace_back();
+        slot = &set.back();
+    }
+
+    slot->valid = true;
+    slot->dirty = false;
+    slot->compressed = compressed;
+    slot->incompressible = engage && !compressed && place;
+    slot->tag = tagOf(addr);
+    slot->base = base;
+    slot->occupied = footprint;
+    slot->lastUse = ++useCounter;
+    slot->inserted = slot->lastUse;
+    slot->lastTouch = now;
+    slot->data = std::move(data);
+    return *slot;
+}
+
+AccessOutcome
+Cache::access(Addr addr, bool is_write, std::uint8_t *data, unsigned size,
+              Cycles now)
+{
+    kagura_assert(size >= 1 && size <= 8);
+    kagura_assert(addr / cfg.blockSize == (addr + size - 1) / cfg.blockSize);
+
+    AccessOutcome out;
+    out.latency = 1; // SRAM hit latency (Table I)
+    ++stat.accesses;
+
+    const unsigned depth = shadow.touch(addr);
+    Set &set = setArray[setIndex(addr)];
+    decaySweep(set, now, out);
+
+    Line *line = findLine(addr);
+    if (line) {
+        out.hit = true;
+        ++stat.hits;
+        if (line->compressed) {
+            out.hitCompressed = true;
+            ++out.decompressions;
+            ++stat.decompressions;
+            ++stat.compressedHits;
+            if (comp)
+                out.latency += comp->costs().decompressLatency;
+            if (depth != ShadowTags::depthMiss && depth < cfg.ways) {
+                // Would have hit uncompressed too: wasted decompression.
+                ++stat.wastedDecompressions;
+                if (gov)
+                    gov->noteWastedDecompression(line->base);
+            }
+        }
+        if (depth != ShadowTags::depthMiss && depth >= cfg.ways) {
+            // This hit only exists because compression stretched the
+            // effective capacity; every compressed peer in the set
+            // contributed to that capacity.
+            ++stat.compressionEnabledHits;
+            if (gov) {
+                gov->noteCompressionEnabledHit(line->base);
+                for (const Line &peer : set) {
+                    if (peer.valid && peer.compressed &&
+                        &peer != line) {
+                        gov->noteCompressionContribution(peer.base);
+                    }
+                }
+            }
+        }
+    } else {
+        ++stat.misses;
+        if (gov && depth != ShadowTags::depthMiss && depth >= cfg.ways &&
+            depth < 2 * cfg.ways) {
+            // A fully compressed cache would have held this block. The
+            // miss is attributable to disabled compression if the
+            // block is known to compress, or unrated while the working
+            // set is compressible on balance.
+            const int rating = shadow.compressibleRating(addr);
+            if (rating > 0 || (rating == 0 && compressBias > 0))
+                gov->noteCompressionDisabledMiss(addr);
+        }
+        line = &fillLine(addr, now, out);
+        const Cycles nvm_lat = mem.params().readLatency;
+        out.latency += nvm_lat;
+        if (line->compressed && comp)
+            out.latency += comp->costs().compressLatency;
+    }
+
+    const unsigned offset = static_cast<unsigned>(addr % cfg.blockSize);
+    if (is_write) {
+        kagura_assert(data != nullptr);
+        std::memcpy(line->data.data() + offset, data, size);
+        line->dirty = true;
+        if (line->compressed) {
+            Set &owning_set = setArray[setIndex(addr)];
+            const unsigned capacity = cfg.ways * cfg.blockSize;
+            const unsigned free_bytes =
+                capacity - setOccupancy(owning_set);
+            if (gov && !gov->shouldCompress(line->base) &&
+                free_bytes >= cfg.blockSize - line->occupied) {
+                // Compression is disabled (Kagura's Regular Mode) and
+                // the raw block fits without displacing anything: the
+                // written block decompresses once and stays raw, so no
+                // further compressor energy is spent on it.
+                ++out.decompressions;
+                ++stat.decompressions;
+                if (comp)
+                    out.latency += comp->costs().decompressLatency;
+                line->compressed = false;
+                line->occupied = cfg.blockSize;
+            } else {
+                // Contents changed; the block must be recompressed, and
+                // it may no longer fit in its old footprint.
+                bool worthwhile = false;
+                const unsigned footprint =
+                    compressedFootprint(line->data, worthwhile);
+                ++out.compressions;
+                ++stat.compressions;
+                ++out.compactions;
+                ++stat.compactions;
+                if (gov) {
+                    gov->noteCompression(line->base);
+                    gov->noteRecompression(line->base);
+                }
+                if (comp)
+                    out.latency += comp->costs().compressLatency;
+                if (!worthwhile) {
+                    line->compressed = false;
+                    line->incompressible = true;
+                    if (cfg.blockSize > line->occupied)
+                        makeRoom(set, cfg.blockSize - line->occupied,
+                                 gov && gov->shouldCompress(line->base),
+                                 line, now, out);
+                    line->occupied = cfg.blockSize;
+                } else if (footprint > line->occupied) {
+                    makeRoom(set, footprint - line->occupied,
+                             gov && gov->shouldCompress(line->base), line,
+                             now, out);
+                    line->occupied = footprint;
+                } else {
+                    line->occupied = footprint;
+                }
+            }
+        }
+    } else if (data) {
+        std::memcpy(data, line->data.data() + offset, size);
+    }
+
+    line->lastUse = ++useCounter;
+    line->lastTouch = now;
+
+    // Demand miss: let the prefetcher chase the next line.
+    if (!out.hit && pf) {
+        Addr next = 0;
+        if (pf->next(blockBase(addr), next)) {
+            AccessOutcome pf_out = prefetchFill(next, now);
+            out.nvmBlockReads += pf_out.nvmBlockReads;
+            out.nvmBlockWrites += pf_out.nvmBlockWrites;
+            out.compressions += pf_out.compressions;
+            out.decompressions += pf_out.decompressions;
+            out.evictions += pf_out.evictions;
+            // Prefetch latency is off the critical path (no += latency).
+        }
+    }
+    return out;
+}
+
+AccessOutcome
+Cache::prefetchFill(Addr addr, Cycles now)
+{
+    AccessOutcome out;
+    if (findLine(addr))
+        return out;
+    fillLine(addr, now, out);
+    ++stat.prefetchFills;
+    return out;
+}
+
+FlushOutcome
+Cache::flushAndInvalidate()
+{
+    FlushOutcome flush;
+    AccessOutcome scratch;
+    for (Set &set : setArray) {
+        for (Line &line : set) {
+            if (!line.valid)
+                continue;
+            if (line.dirty) {
+                ++flush.dirtyBlocks;
+                if (line.compressed) {
+                    ++flush.decompressions;
+                    ++stat.decompressions;
+                }
+                writeback(line, scratch);
+                ++flush.nvmBlockWrites;
+            }
+            line.valid = false;
+            line.occupied = 0;
+        }
+        set.clear();
+    }
+    shadow.invalidateAll();
+    if (gov)
+        gov->noteCacheCleared();
+    return flush;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Set &set : setArray)
+        set.clear();
+    shadow.invalidateAll();
+    if (gov)
+        gov->noteCacheCleared();
+}
+
+FlushOutcome
+Cache::cleanAll()
+{
+    FlushOutcome flush;
+    AccessOutcome scratch;
+    for (Set &set : setArray) {
+        for (Line &line : set) {
+            if (line.valid && line.dirty) {
+                ++flush.dirtyBlocks;
+                if (line.compressed) {
+                    ++flush.decompressions;
+                    ++stat.decompressions;
+                }
+                writeback(line, scratch);
+                ++flush.nvmBlockWrites;
+            }
+        }
+    }
+    return flush;
+}
+
+bool
+Cache::writebackBlock(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line || !line->dirty)
+        return false;
+    AccessOutcome scratch;
+    writeback(*line, scratch);
+    return true;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Cache::containsCompressed(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line && line->compressed;
+}
+
+unsigned
+Cache::validLines() const
+{
+    unsigned count = 0;
+    for (const Set &set : setArray) {
+        for (const Line &line : set) {
+            if (line.valid)
+                ++count;
+        }
+    }
+    return count;
+}
+
+unsigned
+Cache::dirtyLines() const
+{
+    unsigned count = 0;
+    for (const Set &set : setArray) {
+        for (const Line &line : set) {
+            if (line.valid && line.dirty)
+                ++count;
+        }
+    }
+    return count;
+}
+
+} // namespace kagura

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Set-associative, write-back, write-allocate SRAM cache with optional
+ * block compression (the NVSRAMCache data/instruction caches of
+ * Table I).
+ *
+ * Compressed organisation follows ACC's decoupled design: each set
+ * provides `ways x block_size` bytes of data space in 8 B segments and
+ * up to `2 x ways` tags, so a fully compressed set holds twice the
+ * blocks ("each cache entry can hold up to 2 compressed blocks" in the
+ * paper's running example). Lines keep their uncompressed contents for
+ * functional correctness; compression determines only the space a line
+ * occupies and the energy/latency events reported to the caller.
+ *
+ * The cache is policy-free: a CompressionGovernor (ACC, Kagura, or a
+ * fixed governor) decides *whether* to compress; the cache reports
+ * every energy-relevant event through AccessOutcome so the platform
+ * can meter the capacitor.
+ */
+
+#ifndef KAGURA_CACHE_CACHE_HH
+#define KAGURA_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/decay.hh"
+#include "cache/governor.hh"
+#include "cache/prefetcher.hh"
+#include "cache/shadow_tags.hh"
+#include "common/types.hh"
+#include "compress/compressor.hh"
+#include "mem/nvm.hh"
+
+namespace kagura
+{
+
+/** Victim selection policy (Table I uses LRU). */
+enum class ReplacementPolicy
+{
+    Lru,    ///< least recently used (default, Table I)
+    Fifo,   ///< oldest insertion first
+    Random, ///< pseudo-random (deterministic hash of access count)
+};
+
+/** Human-readable policy name. */
+const char *replacementPolicyName(ReplacementPolicy policy);
+
+/** Geometry of one cache (Table I: 256 B, 2-way, 32 B blocks). */
+struct CacheConfig
+{
+    unsigned sizeBytes = 256;
+    unsigned ways = 2;
+    unsigned blockSize = 32;
+    /** Allocation granule of the compressed data space. */
+    unsigned segmentBytes = 8;
+    /** Victim selection policy. */
+    ReplacementPolicy replacement = ReplacementPolicy::Lru;
+
+    /** Number of sets implied by the geometry. */
+    unsigned
+    sets() const
+    {
+        return sizeBytes / (ways * blockSize);
+    }
+};
+
+/** Everything energy/latency-relevant that one access caused. */
+struct AccessOutcome
+{
+    bool hit = false;
+    /** The hit target was stored compressed (decompression on path). */
+    bool hitCompressed = false;
+    unsigned nvmBlockReads = 0;
+    unsigned nvmBlockWrites = 0;
+    unsigned compressions = 0;
+    /** Compressions that actually stored a smaller block (data-array
+     *  segment rewrite -- the costlier event). */
+    unsigned compactions = 0;
+    unsigned decompressions = 0;
+    unsigned evictions = 0;
+    Cycles latency = 0;
+};
+
+/** What a checkpoint flush cost. */
+struct FlushOutcome
+{
+    unsigned dirtyBlocks = 0;
+    unsigned nvmBlockWrites = 0;
+    unsigned decompressions = 0;
+};
+
+/** Aggregate cache statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t compressions = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t decompressions = 0;
+    std::uint64_t compressedHits = 0;
+    std::uint64_t compressionEnabledHits = 0;
+    std::uint64_t wastedDecompressions = 0;
+    std::uint64_t prefetchFills = 0;
+    std::uint64_t decayWritebacks = 0;
+
+    /** Miss rate over all accesses (0 when idle). */
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** The compressed cache. */
+class Cache
+{
+  public:
+    /**
+     * @param config Geometry.
+     * @param nvm Backing nonvolatile memory (fills and writebacks).
+     * @param compressor Block compressor, or nullptr for a plain cache.
+     * @param governor Compression policy; nullptr compresses never.
+     */
+    Cache(const CacheConfig &config, Nvm &nvm,
+          const Compressor *compressor = nullptr,
+          CompressionGovernor *governor = nullptr);
+
+    /**
+     * Perform one access.
+     *
+     * @param addr Byte address; [addr, addr+size) must not cross a
+     *             block boundary.
+     * @param is_write True for stores.
+     * @param data Store data (writes) or destination (reads, may be
+     *             nullptr to skip the copy).
+     * @param size Access size in bytes (1..8).
+     * @param now Current cycle (LRU timestamps, decay).
+     */
+    AccessOutcome access(Addr addr, bool is_write, std::uint8_t *data,
+                         unsigned size, Cycles now);
+
+    /**
+     * Fill @p addr without a demand access (prefetch); no-op if
+     * already resident. Reported events mirror a demand fill.
+     */
+    AccessOutcome prefetchFill(Addr addr, Cycles now);
+
+    /** Write back every dirty line and invalidate (JIT checkpoint). */
+    FlushOutcome flushAndInvalidate();
+
+    /** Invalidate without writeback (tests; write-through designs). */
+    void invalidateAll();
+
+    /**
+     * Write back every dirty line but keep contents valid (used by
+     * sweeping/persisting EHS designs at region boundaries).
+     */
+    FlushOutcome cleanAll();
+
+    /**
+     * Persist the block containing @p addr to NVM (if resident and
+     * dirty) and mark it clean; used by store-through EHS designs.
+     * @return true if a writeback happened.
+     */
+    bool writebackBlock(Addr addr);
+
+    /** Is the block containing @p addr resident? */
+    bool contains(Addr addr) const;
+
+    /** Is the block containing @p addr resident and compressed? */
+    bool containsCompressed(Addr addr) const;
+
+    /** Number of valid lines overall. */
+    unsigned validLines() const;
+
+    /** Number of dirty lines overall. */
+    unsigned dirtyLines() const;
+
+    /** Statistics so far. */
+    const CacheStats &stats() const { return stat; }
+
+    /** Zero the statistics (per-phase measurements). */
+    void resetStats() { stat = CacheStats{}; }
+
+    /** Attach an EDBP-style dead block predictor (may be nullptr). */
+    void setDecay(DecayController *controller) { decay = controller; }
+
+    /** Attach an IPEX-style prefetcher (may be nullptr). */
+    void setPrefetcher(Prefetcher *prefetcher) { pf = prefetcher; }
+
+    /** Replace the governor (mode-wrapping controllers). */
+    void setGovernor(CompressionGovernor *governor) { gov = governor; }
+
+    /** The geometry this cache was built with. */
+    const CacheConfig &config() const { return cfg; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool compressed = false;
+        /** The line proved incompressible last time we tried. */
+        bool incompressible = false;
+        std::uint64_t tag = 0;
+        /** Block base address (for writebacks). */
+        Addr base = 0;
+        /** Segment-rounded bytes of data space this line occupies. */
+        unsigned occupied = 0;
+        /** LRU timestamp (global access counter). */
+        std::uint64_t lastUse = 0;
+        /** Insertion timestamp (FIFO replacement). */
+        std::uint64_t inserted = 0;
+        /** Cycle of the last touch (decay). */
+        Cycles lastTouch = 0;
+        /** Uncompressed block contents. */
+        std::vector<std::uint8_t> data;
+    };
+
+    using Set = std::vector<Line>;
+
+    unsigned setIndex(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+    Addr blockBase(Addr addr) const;
+
+    /** Find the resident line for @p addr, or nullptr. */
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    /** Bytes of data space used in @p set. */
+    unsigned setOccupancy(const Set &set) const;
+
+    /** Segment-rounded footprint for a compressed size. */
+    unsigned roundToSegments(std::uint64_t bytes) const;
+
+    /** Footprint a block's data would take if compressed now. */
+    unsigned compressedFootprint(const std::vector<std::uint8_t> &data,
+                                 bool &worthwhile) const;
+
+    /**
+     * Make at least @p needed bytes and one tag slot available in
+     * @p set: first (if @p may_compress) compress resident
+     * uncompressed lines LRU-first, then evict LRU lines.
+     * @p exclude is never touched.
+     */
+    void makeRoom(Set &set, unsigned needed, bool may_compress,
+                  const Line *exclude, Cycles now, AccessOutcome &out);
+
+    /** Evict @p line from @p set (writeback if dirty). */
+    void evictLine(Set &set, Line &line, AccessOutcome &out);
+
+    /** Apply EDBP eager writebacks to the set being accessed. */
+    void decaySweep(Set &set, Cycles now, AccessOutcome &out);
+
+    /** Fill @p addr into its set, returns the new line. */
+    Line &fillLine(Addr addr, Cycles now, AccessOutcome &out);
+
+    /** Write @p line's contents back to NVM. */
+    void writeback(Line &line, AccessOutcome &out);
+
+    CacheConfig cfg;
+    Nvm &mem;
+    const Compressor *comp;
+    CompressionGovernor *gov;
+    DecayController *decay = nullptr;
+    Prefetcher *pf = nullptr;
+
+    std::vector<Set> setArray;
+    ShadowTags shadow;
+    CacheStats stat;
+    std::uint64_t useCounter = 0;
+
+    /**
+     * Global compressibility bias: a small saturating counter of the
+     * compressor's recent verdicts (+1 worthwhile / -1 not). Breaks
+     * ties for blocks with no per-block rating (e.g. right after a
+     * power failure cleared the shadow state). Persists as a
+     * controller register.
+     */
+    int compressBias = 0;
+};
+
+} // namespace kagura
+
+#endif // KAGURA_CACHE_CACHE_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Compression governor: the policy hook the compressed cache consults
+ * before compressing and notifies about compression-relevant events.
+ * ACC implements it with its Global Compression Predictor; Kagura wraps
+ * an inner governor and force-disables compression in Regular Mode; the
+ * ideal oracle records/replays per-compression outcomes.
+ *
+ * Events carry the block base address so recorders can attribute
+ * benefit to individual compressions.
+ */
+
+#ifndef KAGURA_CACHE_GOVERNOR_HH
+#define KAGURA_CACHE_GOVERNOR_HH
+
+#include "common/types.hh"
+
+namespace kagura
+{
+
+/** Policy interface deciding whether blocks get compressed. */
+class CompressionGovernor
+{
+  public:
+    virtual ~CompressionGovernor() = default;
+
+    /**
+     * Should the cache *store* the block at @p addr compressed right
+     * now? Most governors ignore the address; the ideal oracle keys
+     * its verdict on it.
+     */
+    virtual bool shouldCompress(Addr addr) = 0;
+
+    /**
+     * Should the compressor datapath run for the fill of @p addr at
+     * all? ACC keeps the compressor engaged even while the GCP vetoes
+     * compressed *placement*, so its predictor keeps learning block
+     * sizes ([10]'s always-compress-on-fill design); Kagura's Regular
+     * Mode power-gates the datapath entirely -- that is where its
+     * energy savings come from.
+     */
+    virtual bool runCompressor(Addr addr) { return shouldCompress(addr); }
+
+    /**
+     * A hit on block @p addr occurred that only existed thanks to
+     * compression (shadow depth >= ways): compression avoided a miss.
+     */
+    virtual void noteCompressionEnabledHit(Addr addr) { (void)addr; }
+
+    /**
+     * A compressed block was hit although it would also have been
+     * resident uncompressed: the decompression was pure overhead.
+     */
+    virtual void noteWastedDecompression(Addr addr) { (void)addr; }
+
+    /**
+     * Block @p addr is stored compressed in a set where a
+     * compression-enabled hit just landed: its compression helped
+     * create the capacity that produced the hit. Only the ideal
+     * oracle consumes this (benefit attribution is collective within
+     * a set); ACC's GCP already integrates the hit itself.
+     */
+    virtual void noteCompressionContribution(Addr addr) { (void)addr; }
+
+    /**
+     * Block @p addr was evicted. @p avoidable is true when the set
+     * still held an uncompressed compressible line at eviction time,
+     * i.e. enabling compression would have made room instead -- the
+     * "evicted due to disabled compression" signal feeding R_evict
+     * (Section VI-B).
+     */
+    virtual void
+    noteEviction(Addr addr, bool avoidable)
+    {
+        (void)addr;
+        (void)avoidable;
+    }
+
+    /** Block @p addr was compressed (on fill or to make room). */
+    virtual void noteCompression(Addr addr) { (void)addr; }
+
+    /**
+     * A store hit a compressed line and forced a recompression (the
+     * stored format must stay consistent). Write-hot compressed
+     * blocks bleed compressor energy; ACC debits its predictor so it
+     * learns to keep such blocks raw.
+     */
+    virtual void noteRecompression(Addr addr) { (void)addr; }
+
+    /**
+     * A compression attempt on @p addr produced no size reduction
+     * (the block is stored raw). ACC uses this to stop burning energy
+     * on incompressible working sets.
+     */
+    virtual void noteIncompressible(Addr addr) { (void)addr; }
+
+    /**
+     * A miss occurred on a block whose shadow depth was within the
+     * compression-extended capacity (ways <= depth < 2 x ways) while
+     * compression was not protecting it: with compression enabled this
+     * access would have hit. Kagura's R_evict feedback integrates
+     * these "misses due to disabled compression" (our shadow-tag
+     * refinement of Section VI-B's eviction-count proxy; the shadow
+     * array already exists for ACC, so the hardware cost is one
+     * comparator).
+     */
+    virtual void noteCompressionDisabledMiss(Addr addr) { (void)addr; }
+
+    /** The whole cache was invalidated (power failure). */
+    virtual void noteCacheCleared() {}
+};
+
+/** Trivial governor that always answers one way (baselines, tests). */
+class FixedGovernor : public CompressionGovernor
+{
+  public:
+    explicit FixedGovernor(bool enable) : enabled(enable) {}
+
+    bool shouldCompress(Addr) override { return enabled; }
+
+    /** Flip the decision (tests). */
+    void set(bool enable) { enabled = enable; }
+
+  private:
+    bool enabled;
+};
+
+} // namespace kagura
+
+#endif // KAGURA_CACHE_GOVERNOR_HH

@@ -1,0 +1,52 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace kagura
+{
+
+bool informEnabled = true;
+
+namespace detail
+{
+
+std::string
+vformat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed < 0) {
+        va_end(args);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    va_end(args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+void
+terminate(const char *kind, const std::string &msg, const char *file,
+          int line, bool abort_process)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
+    std::fflush(stderr);
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+void
+report(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace kagura

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user supplied an impossible configuration; exits(1).
+ * warn()   - something is modelled approximately; execution continues.
+ * inform() - plain status output.
+ */
+
+#ifndef KAGURA_COMMON_LOGGING_HH
+#define KAGURA_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace kagura
+{
+
+namespace detail
+{
+
+[[noreturn]] void terminate(const char *kind, const std::string &msg,
+                            const char *file, int line, bool abort_process);
+
+void report(const char *kind, const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Global verbosity switch; benches silence inform() output. */
+extern bool informEnabled;
+
+} // namespace kagura
+
+/** Abort on a simulator bug. Never returns. */
+#define panic(...)                                                          \
+    ::kagura::detail::terminate("panic",                                    \
+        ::kagura::detail::vformat(__VA_ARGS__), __FILE__, __LINE__, true)
+
+/** Exit on a user configuration error. Never returns. */
+#define fatal(...)                                                          \
+    ::kagura::detail::terminate("fatal",                                    \
+        ::kagura::detail::vformat(__VA_ARGS__), __FILE__, __LINE__, false)
+
+/** Report an approximation or suspicious condition and continue. */
+#define warn(...)                                                           \
+    ::kagura::detail::report("warn",                                        \
+        ::kagura::detail::vformat(__VA_ARGS__))
+
+/** Report ordinary status and continue. */
+#define inform(...)                                                         \
+    do {                                                                    \
+        if (::kagura::informEnabled)                                        \
+            ::kagura::detail::report("info",                                \
+                ::kagura::detail::vformat(__VA_ARGS__));                    \
+    } while (0)
+
+/** Internal invariant check that survives NDEBUG builds. */
+#define kagura_assert(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            panic("assertion failed: %s", #cond);                           \
+    } while (0)
+
+#endif // KAGURA_COMMON_LOGGING_HH

@@ -1,0 +1,129 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace kagura
+{
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::FILE *out) const
+{
+    std::size_t cols = header.size();
+    for (const auto &row : rows)
+        cols = std::max(cols, row.size());
+    if (cols == 0)
+        return;
+
+    std::vector<std::size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    measure(header);
+    for (const auto &row : rows)
+        measure(row);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        std::fputs("| ", out);
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string &cell = c < row.size() ? row[c] : std::string();
+            std::fprintf(out, "%-*s | ", static_cast<int>(width[c]),
+                         cell.c_str());
+        }
+        std::fputc('\n', out);
+    };
+
+    auto rule = [&]() {
+        std::fputc('+', out);
+        for (std::size_t c = 0; c < cols; ++c) {
+            for (std::size_t i = 0; i < width[c] + 2; ++i)
+                std::fputc('-', out);
+            std::fputc('+', out);
+        }
+        std::fputc('\n', out);
+    };
+
+    rule();
+    if (!header.empty()) {
+        emit(header);
+        rule();
+    }
+    for (const auto &row : rows)
+        emit(row);
+    rule();
+}
+
+std::string
+TextTable::num(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+TextTable::pct(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", decimals, value);
+    return buf;
+}
+
+BarChart::BarChart(std::string title_, std::string unit_)
+    : title(std::move(title_)), unit(std::move(unit_))
+{
+}
+
+void
+BarChart::add(const std::string &category, const std::string &series,
+              double value)
+{
+    bars.push_back({category, series, value});
+}
+
+void
+BarChart::print(int width, std::FILE *out) const
+{
+    std::fprintf(out, "\n%s\n", title.c_str());
+    if (bars.empty())
+        return;
+
+    double max_abs = 0.0;
+    std::size_t label_width = 0;
+    for (const auto &bar : bars) {
+        max_abs = std::max(max_abs, std::abs(bar.value));
+        label_width = std::max(label_width,
+                               bar.category.size() + bar.series.size() + 3);
+    }
+    if (max_abs == 0.0)
+        max_abs = 1.0;
+
+    for (const auto &bar : bars) {
+        std::string label = bar.category;
+        if (!bar.series.empty())
+            label += " [" + bar.series + "]";
+        int len = static_cast<int>(
+            std::lround(std::abs(bar.value) / max_abs * width));
+        std::string fill(static_cast<std::size_t>(len),
+                         bar.value < 0 ? '-' : '#');
+        std::fprintf(out, "  %-*s |%-*s %.4g %s\n",
+                     static_cast<int>(label_width), label.c_str(), width,
+                     fill.c_str(), bar.value, unit.c_str());
+    }
+}
+
+} // namespace kagura

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ASCII table and bar-series printers used by the benchmark harness to
+ * render the paper's tables and figures as text.
+ */
+
+#ifndef KAGURA_COMMON_TABLE_HH
+#define KAGURA_COMMON_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace kagura
+{
+
+/**
+ * Simple column-aligned text table. Collect rows of strings, then
+ * print(); column widths are computed from the content.
+ */
+class TextTable
+{
+  public:
+    /** Set (or replace) the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to @p out (default stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Format a double with @p decimals fraction digits. */
+    static std::string num(double value, int decimals = 2);
+
+    /** Format a percentage ("+4.74%"). */
+    static std::string pct(double value, int decimals = 2);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Horizontal bar chart for one or more named series over shared
+ * categories; used to echo the paper's bar figures.
+ */
+class BarChart
+{
+  public:
+    /**
+     * @param title Chart title printed above the bars.
+     * @param unit Unit label appended to each value.
+     */
+    BarChart(std::string title, std::string unit);
+
+    /** Add a bar: category label, series label, and value. */
+    void add(const std::string &category, const std::string &series,
+             double value);
+
+    /** Render with bars scaled to @p width characters max. */
+    void print(int width = 48, std::FILE *out = stdout) const;
+
+  private:
+    struct Bar
+    {
+        std::string category;
+        std::string series;
+        double value;
+    };
+
+    std::string title;
+    std::string unit;
+    std::vector<Bar> bars;
+};
+
+} // namespace kagura
+
+#endif // KAGURA_COMMON_TABLE_HH

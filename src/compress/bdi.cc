@@ -1,0 +1,215 @@
+#include "compress/bdi.hh"
+
+#include <array>
+#include <cstring>
+#include <optional>
+
+#include "compress/bitstream.hh"
+
+namespace kagura
+{
+
+namespace
+{
+
+/** BDI encoding variants, in the order tried. */
+enum BdiVariant : unsigned
+{
+    BdiZeros = 0,  ///< all bytes zero
+    BdiRepeat = 1, ///< one 8-byte value repeated
+    BdiB8D1 = 2,
+    BdiB8D2 = 3,
+    BdiB8D4 = 4,
+    BdiB4D1 = 5,
+    BdiB4D2 = 6,
+    BdiB2D1 = 7,
+    BdiRaw = 8, ///< incompressible; stored verbatim
+};
+
+struct VariantSpec
+{
+    unsigned baseBytes;
+    unsigned deltaBytes;
+};
+
+constexpr std::array<VariantSpec, 6> variantSpecs = {{
+    {8, 1}, // BdiB8D1
+    {8, 2}, // BdiB8D2
+    {8, 4}, // BdiB8D4
+    {4, 1}, // BdiB4D1
+    {4, 2}, // BdiB4D2
+    {2, 1}, // BdiB2D1
+}};
+
+constexpr unsigned headerBits = 4;
+
+std::uint64_t
+loadLittle(const std::uint8_t *src, unsigned bytes)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v |= static_cast<std::uint64_t>(src[i]) << (8 * i);
+    return v;
+}
+
+void
+storeLittle(std::uint8_t *dst, std::uint64_t v, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        dst[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/**
+ * Try one (base, delta) variant. Returns the encoded payload bits if
+ * every value fits either its delta to the first non-zero base or its
+ * delta to zero; nullopt otherwise.
+ */
+std::optional<BitWriter>
+tryVariant(const std::vector<std::uint8_t> &block, unsigned variant_id,
+           const VariantSpec &spec)
+{
+    const std::size_t n = block.size() / spec.baseBytes;
+    if (n * spec.baseBytes != block.size() || n == 0)
+        return std::nullopt;
+
+    const unsigned delta_bits = spec.deltaBytes * 8;
+
+    // Pick the first value not representable against the zero base as
+    // the explicit base (the BDI "immediate" scheme).
+    std::uint64_t base = 0;
+    bool have_base = false;
+    std::vector<std::uint64_t> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        values[i] = loadLittle(block.data() + i * spec.baseBytes,
+                               spec.baseBytes);
+        std::int64_t as_signed =
+            signExtend(values[i], spec.baseBytes * 8);
+        if (!have_base && !fitsSigned(as_signed, delta_bits)) {
+            base = values[i];
+            have_base = true;
+        }
+    }
+
+    BitWriter out;
+    out.write(variant_id, headerBits);
+    out.write(base, spec.baseBytes * 8);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t delta_zero =
+            signExtend(values[i], spec.baseBytes * 8);
+        const std::int64_t delta_base = static_cast<std::int64_t>(
+            values[i] - base);
+        // Deltas against the explicit base are taken modulo the base
+        // width, so re-narrow before the fit check.
+        const std::int64_t delta_base_n =
+            signExtend(static_cast<std::uint64_t>(delta_base),
+                       spec.baseBytes * 8);
+        if (fitsSigned(delta_zero, delta_bits)) {
+            out.write(0, 1); // zero base selector
+            out.write(static_cast<std::uint64_t>(delta_zero), delta_bits);
+        } else if (fitsSigned(delta_base_n, delta_bits)) {
+            out.write(1, 1); // explicit base selector
+            out.write(static_cast<std::uint64_t>(delta_base_n), delta_bits);
+        } else {
+            return std::nullopt;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+CompressionResult
+BdiCompressor::compress(const std::vector<std::uint8_t> &block) const
+{
+    // All-zero block: header only.
+    bool all_zero = true;
+    for (std::uint8_t b : block) {
+        if (b != 0) {
+            all_zero = false;
+            break;
+        }
+    }
+    if (all_zero) {
+        BitWriter out;
+        out.write(BdiZeros, headerBits);
+        return {out.bits(), out.data()};
+    }
+
+    // Repeated 8-byte value.
+    if (block.size() >= 16 && block.size() % 8 == 0) {
+        const std::uint64_t first = loadLittle(block.data(), 8);
+        bool repeated = true;
+        for (std::size_t i = 8; i < block.size(); i += 8) {
+            if (loadLittle(block.data() + i, 8) != first) {
+                repeated = false;
+                break;
+            }
+        }
+        if (repeated) {
+            BitWriter out;
+            out.write(BdiRepeat, headerBits);
+            out.write(first, 64);
+            return {out.bits(), out.data()};
+        }
+    }
+
+    // Base+delta variants; keep the smallest.
+    std::optional<BitWriter> best;
+    for (unsigned v = 0; v < variantSpecs.size(); ++v) {
+        auto attempt = tryVariant(block, BdiB8D1 + v, variantSpecs[v]);
+        if (attempt && (!best || attempt->bits() < best->bits()))
+            best = std::move(attempt);
+    }
+    if (best)
+        return {best->bits(), best->data()};
+
+    // Raw fallback.
+    BitWriter out;
+    out.write(BdiRaw, headerBits);
+    for (std::uint8_t b : block)
+        out.write(b, 8);
+    return {out.bits(), out.data()};
+}
+
+std::vector<std::uint8_t>
+BdiCompressor::decompress(const std::vector<std::uint8_t> &payload,
+                          std::size_t block_size) const
+{
+    BitReader in(payload);
+    const unsigned variant = static_cast<unsigned>(in.read(headerBits));
+    std::vector<std::uint8_t> block(block_size, 0);
+
+    if (variant == BdiZeros)
+        return block;
+
+    if (variant == BdiRepeat) {
+        const std::uint64_t value = in.read(64);
+        for (std::size_t i = 0; i + 8 <= block_size; i += 8)
+            storeLittle(block.data() + i, value, 8);
+        return block;
+    }
+
+    if (variant == BdiRaw) {
+        for (std::size_t i = 0; i < block_size; ++i)
+            block[i] = static_cast<std::uint8_t>(in.read(8));
+        return block;
+    }
+
+    kagura_assert(variant >= BdiB8D1 && variant <= BdiB2D1);
+    const VariantSpec &spec = variantSpecs[variant - BdiB8D1];
+    const std::uint64_t base = in.read(spec.baseBytes * 8);
+    const std::size_t n = block_size / spec.baseBytes;
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool use_base = in.read(1) != 0;
+        const std::uint64_t delta_raw = in.read(spec.deltaBytes * 8);
+        const std::int64_t delta = signExtend(delta_raw,
+                                              spec.deltaBytes * 8);
+        const std::uint64_t value =
+            (use_base ? base : 0) + static_cast<std::uint64_t>(delta);
+        storeLittle(block.data() + i * spec.baseBytes, value,
+                    spec.baseBytes);
+    }
+    return block;
+}
+
+} // namespace kagura

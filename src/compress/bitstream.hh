@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bit-granular writer/reader used by the compression algorithms to build
+ * self-describing compressed payloads. Bits are packed LSB-first into a
+ * byte vector.
+ */
+
+#ifndef KAGURA_COMPRESS_BITSTREAM_HH
+#define KAGURA_COMPRESS_BITSTREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+
+/** Append-only bit stream writer. */
+class BitWriter
+{
+  public:
+    /** Append the low @p width bits of @p value (width <= 64). */
+    void
+    write(std::uint64_t value, unsigned width)
+    {
+        kagura_assert(width <= 64);
+        for (unsigned i = 0; i < width; ++i) {
+            const std::size_t byte = bitCount / 8;
+            if (byte >= bytes.size())
+                bytes.push_back(0);
+            if ((value >> i) & 1)
+                bytes[byte] |= static_cast<std::uint8_t>(1u << (bitCount % 8));
+            ++bitCount;
+        }
+    }
+
+    /** Number of bits written so far. */
+    std::uint64_t bits() const { return bitCount; }
+
+    /** The packed payload (last byte zero-padded). */
+    const std::vector<std::uint8_t> &data() const { return bytes; }
+
+  private:
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t bitCount = 0;
+};
+
+/** Sequential bit stream reader over a packed payload. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<std::uint8_t> &payload)
+        : bytes(payload)
+    {
+    }
+
+    /** Read the next @p width bits (width <= 64). */
+    std::uint64_t
+    read(unsigned width)
+    {
+        kagura_assert(width <= 64);
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < width; ++i) {
+            const std::size_t byte = cursor / 8;
+            kagura_assert(byte < bytes.size());
+            if ((bytes[byte] >> (cursor % 8)) & 1)
+                value |= (1ULL << i);
+            ++cursor;
+        }
+        return value;
+    }
+
+    /** Bits consumed so far. */
+    std::uint64_t consumed() const { return cursor; }
+
+  private:
+    const std::vector<std::uint8_t> &bytes;
+    std::uint64_t cursor = 0;
+};
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t value, unsigned width)
+{
+    const std::uint64_t mask = width >= 64 ? ~0ULL : (1ULL << width) - 1;
+    value &= mask;
+    if (width < 64 && (value >> (width - 1)) & 1)
+        value |= ~mask;
+    return static_cast<std::int64_t>(value);
+}
+
+/** True iff @p value fits in @p width bits as a signed integer. */
+constexpr bool
+fitsSigned(std::int64_t value, unsigned width)
+{
+    if (width >= 64)
+        return true;
+    const std::int64_t lo = -(1LL << (width - 1));
+    const std::int64_t hi = (1LL << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+} // namespace kagura
+
+#endif // KAGURA_COMPRESS_BITSTREAM_HH

@@ -1,0 +1,169 @@
+#include "compress/bpc.hh"
+
+#include "compress/bitstream.hh"
+
+namespace kagura
+{
+
+namespace
+{
+
+/** Plane codes (2-bit prefix + payload). */
+enum BpcPlaneCode : unsigned
+{
+    PlaneZero = 0,    ///< all bits zero
+    PlaneOnes = 1,    ///< all bits one
+    PlaneSingle = 2,  ///< exactly one set bit (+ its position)
+    PlaneRaw = 3,     ///< verbatim plane bits
+};
+
+std::uint32_t
+loadWord(const std::uint8_t *src)
+{
+    return static_cast<std::uint32_t>(src[0]) |
+           (static_cast<std::uint32_t>(src[1]) << 8) |
+           (static_cast<std::uint32_t>(src[2]) << 16) |
+           (static_cast<std::uint32_t>(src[3]) << 24);
+}
+
+void
+storeWord(std::uint8_t *dst, std::uint32_t v)
+{
+    dst[0] = static_cast<std::uint8_t>(v);
+    dst[1] = static_cast<std::uint8_t>(v >> 8);
+    dst[2] = static_cast<std::uint8_t>(v >> 16);
+    dst[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+/** Bits needed to index a plane of @p width bits. */
+unsigned
+indexBits(std::size_t width)
+{
+    unsigned bits = 1;
+    while ((1ULL << bits) < width)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+CompressionResult
+BpcCompressor::compress(const std::vector<std::uint8_t> &block) const
+{
+    const std::size_t words = block.size() / 4;
+    kagura_assert(words * 4 == block.size());
+    kagura_assert(words >= 2);
+    const std::size_t deltas = words - 1;
+
+    // 1. Deltas between neighbouring 32-bit values (33-bit signed).
+    std::vector<std::int64_t> delta(deltas);
+    std::uint32_t prev = loadWord(block.data());
+    for (std::size_t i = 0; i < deltas; ++i) {
+        const std::uint32_t cur = loadWord(block.data() + (i + 1) * 4);
+        delta[i] = static_cast<std::int64_t>(cur) -
+                   static_cast<std::int64_t>(prev);
+        prev = cur;
+    }
+
+    // 2. Bit-plane transform: plane b collects bit b of every delta.
+    constexpr unsigned planeCount = 33;
+    std::vector<std::uint64_t> plane(planeCount, 0);
+    for (unsigned b = 0; b < planeCount; ++b) {
+        for (std::size_t i = 0; i < deltas; ++i) {
+            const auto bits =
+                static_cast<std::uint64_t>(delta[i]) & 0x1ffffffffULL;
+            if ((bits >> b) & 1)
+                plane[b] |= 1ULL << i;
+        }
+    }
+
+    // 3. DBX: XOR each plane with its neighbour (plane 32 stays).
+    std::vector<std::uint64_t> dbx(planeCount);
+    dbx[planeCount - 1] = plane[planeCount - 1];
+    for (unsigned b = 0; b + 1 < planeCount; ++b)
+        dbx[b] = plane[b] ^ plane[b + 1];
+
+    // 4. Encode: base word + per-plane short codes.
+    const std::uint64_t mask =
+        deltas >= 64 ? ~0ULL : (1ULL << deltas) - 1;
+    const unsigned idx_bits = indexBits(deltas);
+    BitWriter out;
+    out.write(loadWord(block.data()), 32);
+    for (unsigned b = 0; b < planeCount; ++b) {
+        const std::uint64_t bits = dbx[b] & mask;
+        if (bits == 0) {
+            out.write(PlaneZero, 2);
+        } else if (bits == mask) {
+            out.write(PlaneOnes, 2);
+        } else if ((bits & (bits - 1)) == 0) {
+            out.write(PlaneSingle, 2);
+            unsigned pos = 0;
+            while (!((bits >> pos) & 1))
+                ++pos;
+            out.write(pos, idx_bits);
+        } else {
+            out.write(PlaneRaw, 2);
+            out.write(bits, static_cast<unsigned>(deltas));
+        }
+    }
+    return {out.bits(), out.data()};
+}
+
+std::vector<std::uint8_t>
+BpcCompressor::decompress(const std::vector<std::uint8_t> &payload,
+                          std::size_t block_size) const
+{
+    const std::size_t words = block_size / 4;
+    const std::size_t deltas = words - 1;
+    constexpr unsigned planeCount = 33;
+    const std::uint64_t mask =
+        deltas >= 64 ? ~0ULL : (1ULL << deltas) - 1;
+    const unsigned idx_bits = indexBits(deltas);
+
+    BitReader in(payload);
+    const std::uint32_t base = static_cast<std::uint32_t>(in.read(32));
+
+    std::vector<std::uint64_t> dbx(planeCount);
+    for (unsigned b = 0; b < planeCount; ++b) {
+        switch (in.read(2)) {
+          case PlaneZero:
+            dbx[b] = 0;
+            break;
+          case PlaneOnes:
+            dbx[b] = mask;
+            break;
+          case PlaneSingle:
+            dbx[b] = 1ULL << in.read(idx_bits);
+            break;
+          default:
+            dbx[b] = in.read(static_cast<unsigned>(deltas));
+            break;
+        }
+    }
+
+    // Reverse the XOR chain (top plane is stored verbatim).
+    std::vector<std::uint64_t> plane(planeCount);
+    plane[planeCount - 1] = dbx[planeCount - 1];
+    for (int b = static_cast<int>(planeCount) - 2; b >= 0; --b)
+        plane[b] = dbx[b] ^ plane[b + 1];
+
+    // Reverse the bit-plane transform, then prefix-sum the deltas.
+    std::vector<std::uint8_t> block(block_size, 0);
+    storeWord(block.data(), base);
+    std::uint32_t prev = base;
+    for (std::size_t i = 0; i < deltas; ++i) {
+        std::uint64_t bits = 0;
+        for (unsigned b = 0; b < planeCount; ++b) {
+            if ((plane[b] >> i) & 1)
+                bits |= 1ULL << b;
+        }
+        const std::int64_t d = signExtend(bits, planeCount);
+        const auto cur = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(prev) + d);
+        storeWord(block.data() + (i + 1) * 4, cur);
+        prev = cur;
+    }
+    return block;
+}
+
+} // namespace kagura

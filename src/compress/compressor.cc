@@ -1,0 +1,54 @@
+#include "compress/compressor.hh"
+
+#include "common/logging.hh"
+#include "compress/bdi.hh"
+#include "compress/bpc.hh"
+#include "compress/cpack.hh"
+#include "compress/dzc.hh"
+#include "compress/fvc.hh"
+#include "compress/fpc.hh"
+
+namespace kagura
+{
+
+const char *
+compressorKindName(CompressorKind kind)
+{
+    switch (kind) {
+      case CompressorKind::Bdi:
+        return "BDI";
+      case CompressorKind::Fpc:
+        return "FPC";
+      case CompressorKind::CPack:
+        return "C-Pack";
+      case CompressorKind::Dzc:
+        return "DZC";
+      case CompressorKind::Bpc:
+        return "BPC";
+      case CompressorKind::Fvc:
+        return "FVC";
+    }
+    panic("unknown CompressorKind %d", static_cast<int>(kind));
+}
+
+std::unique_ptr<Compressor>
+makeCompressor(CompressorKind kind)
+{
+    switch (kind) {
+      case CompressorKind::Bdi:
+        return std::make_unique<BdiCompressor>();
+      case CompressorKind::Fpc:
+        return std::make_unique<FpcCompressor>();
+      case CompressorKind::CPack:
+        return std::make_unique<CPackCompressor>();
+      case CompressorKind::Dzc:
+        return std::make_unique<DzcCompressor>();
+      case CompressorKind::Bpc:
+        return std::make_unique<BpcCompressor>();
+      case CompressorKind::Fvc:
+        return std::make_unique<FvcCompressor>();
+    }
+    panic("unknown CompressorKind %d", static_cast<int>(kind));
+}
+
+} // namespace kagura

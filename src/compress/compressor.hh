@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cache-block compressor interface and factory (Section II-B).
+ *
+ * Each algorithm produces a self-describing bit payload so that the
+ * original block can be reconstructed exactly; the simulator only uses
+ * the compressed *size*, but the full round trip is implemented (and
+ * unit-tested) so the library is usable as a real compression kit.
+ */
+
+#ifndef KAGURA_COMPRESS_COMPRESSOR_HH
+#define KAGURA_COMPRESS_COMPRESSOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "energy/energy_model.hh"
+
+namespace kagura
+{
+
+/**
+ * The four algorithms the paper evaluates (Fig. 23), plus two
+ * extension algorithms from its related-work discussion (Section IX).
+ */
+enum class CompressorKind
+{
+    Bdi,   ///< Base-Delta-Immediate [131] (default)
+    Fpc,   ///< Frequent Pattern Compression [8]
+    CPack, ///< Cache Packer [35]
+    Dzc,   ///< Dynamic Zero Compression [160]
+    Bpc,   ///< Bit-Plane Compression [91] (extension)
+    Fvc,   ///< Frequent Value Compression, CC-style [171] (extension)
+};
+
+/** Human-readable algorithm name. */
+const char *compressorKindName(CompressorKind kind);
+
+/** Outcome of compressing one cache block. */
+struct CompressionResult
+{
+    /** Exact compressed size in bits, including all metadata. */
+    std::uint64_t sizeBits = 0;
+
+    /** Self-describing payload; decompress() reconstructs the block. */
+    std::vector<std::uint8_t> payload;
+
+    /** Compressed size rounded up to bytes. */
+    std::uint64_t sizeBytes() const { return ceilDiv(sizeBits, 8); }
+};
+
+/** Abstract cache-block compressor. */
+class Compressor
+{
+  public:
+    virtual ~Compressor() = default;
+
+    /** Algorithm identity. */
+    virtual CompressorKind kind() const = 0;
+
+    /** Algorithm name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Compress @p block; never fails (worst case: stored raw). */
+    virtual CompressionResult
+    compress(const std::vector<std::uint8_t> &block) const = 0;
+
+    /**
+     * Reconstruct the original block of @p block_size bytes from a
+     * payload produced by compress().
+     */
+    virtual std::vector<std::uint8_t>
+    decompress(const std::vector<std::uint8_t> &payload,
+               std::size_t block_size) const = 0;
+
+    /** Energy/latency costs of this algorithm (Table I row). */
+    virtual CompressionCosts costs() const = 0;
+
+    /**
+     * Convenience: compressed size in bytes, clamped to the original
+     * block size (a block never occupies more than its raw footprint;
+     * incompressible blocks are stored raw with a 1-bit raw marker
+     * absorbed into tag metadata).
+     */
+    std::uint64_t
+    compressedBytes(const std::vector<std::uint8_t> &block) const
+    {
+        const std::uint64_t raw = block.size();
+        const std::uint64_t compressed = compress(block).sizeBytes();
+        return compressed < raw ? compressed : raw;
+    }
+};
+
+/** Build a compressor of the given kind. */
+std::unique_ptr<Compressor> makeCompressor(CompressorKind kind);
+
+} // namespace kagura
+
+#endif // KAGURA_COMPRESS_COMPRESSOR_HH

@@ -1,0 +1,224 @@
+#include "compress/cpack.hh"
+
+#include <array>
+
+#include "compress/bitstream.hh"
+
+namespace kagura
+{
+
+namespace
+{
+
+/**
+ * C-Pack code points. Codes are variable length; the leading bits
+ * distinguish the classes exactly as in Table 1 of [35]:
+ *   00            zzzz  (all-zero word)
+ *   01   + 32b    xxxx  (raw word; pushed into the dictionary)
+ *   10   + idx    mmmm  (full dictionary match)
+ *   1100 + idx+16 mmxx  (upper halfword matches dictionary entry)
+ *   1101 + 8b     zzzx  (zero word except the low byte)
+ *   1110 + idx+8  mmmx  (upper 3 bytes match dictionary entry)
+ */
+enum CPackCode : unsigned
+{
+    CodeZzzz,
+    CodeXxxx,
+    CodeMmmm,
+    CodeMmxx,
+    CodeZzzx,
+    CodeMmmx,
+};
+
+constexpr unsigned idxBits = 4; // log2(dictSize)
+
+std::uint32_t
+loadWord(const std::uint8_t *src)
+{
+    return static_cast<std::uint32_t>(src[0]) |
+           (static_cast<std::uint32_t>(src[1]) << 8) |
+           (static_cast<std::uint32_t>(src[2]) << 16) |
+           (static_cast<std::uint32_t>(src[3]) << 24);
+}
+
+void
+storeWord(std::uint8_t *dst, std::uint32_t v)
+{
+    dst[0] = static_cast<std::uint8_t>(v);
+    dst[1] = static_cast<std::uint8_t>(v >> 8);
+    dst[2] = static_cast<std::uint8_t>(v >> 16);
+    dst[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+/** FIFO dictionary shared by the encoder and decoder. */
+class Dictionary
+{
+  public:
+    /** Number of valid entries. */
+    std::size_t size() const { return count; }
+
+    /** Entry @p i (0 = oldest). */
+    std::uint32_t at(std::size_t i) const { return entries[i]; }
+
+    /** Push an unmatched word (FIFO replacement). */
+    void
+    push(std::uint32_t word)
+    {
+        if (count < entries.size()) {
+            entries[count++] = word;
+        } else {
+            entries[head] = word;
+            head = (head + 1) % entries.size();
+        }
+    }
+
+    /**
+     * Logical index accounting for FIFO rotation, so the decoder (which
+     * replays pushes in the same order) resolves the same words.
+     */
+    std::uint32_t
+    resolve(std::size_t logical) const
+    {
+        if (count < entries.size())
+            return entries[logical];
+        return entries[(head + logical) % entries.size()];
+    }
+
+    /** Find a full match; returns logical index or npos. */
+    std::size_t
+    findFull(std::uint32_t word) const
+    {
+        for (std::size_t i = 0; i < count; ++i) {
+            if (resolve(i) == word)
+                return i;
+        }
+        return npos;
+    }
+
+    /** Find a match of the upper @p bytes bytes; logical index or npos. */
+    std::size_t
+    findUpper(std::uint32_t word, unsigned bytes) const
+    {
+        const std::uint32_t mask = ~((1u << (8 * (4 - bytes))) - 1);
+        for (std::size_t i = 0; i < count; ++i) {
+            if ((resolve(i) & mask) == (word & mask))
+                return i;
+        }
+        return npos;
+    }
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  private:
+    std::array<std::uint32_t, CPackCompressor::dictSize> entries{};
+    std::size_t count = 0;
+    std::size_t head = 0;
+};
+
+} // namespace
+
+CompressionResult
+CPackCompressor::compress(const std::vector<std::uint8_t> &block) const
+{
+    BitWriter out;
+    Dictionary dict;
+    const std::size_t words = block.size() / 4;
+    kagura_assert(words * 4 == block.size());
+
+    for (std::size_t i = 0; i < words; ++i) {
+        const std::uint32_t w = loadWord(block.data() + i * 4);
+
+        if (w == 0) {
+            out.write(0b00, 2);
+            continue;
+        }
+        if ((w & 0xffffff00u) == 0) {
+            out.write(0b1011, 4); // CodeZzzx, encoded LSB-first as 1101
+            out.write(w & 0xff, 8);
+            continue;
+        }
+
+        std::size_t idx = dict.findFull(w);
+        if (idx != Dictionary::npos) {
+            out.write(0b01, 2); // CodeMmmm prefix "10" LSB-first
+            out.write(idx, idxBits);
+            continue;
+        }
+        idx = dict.findUpper(w, 3);
+        if (idx != Dictionary::npos) {
+            out.write(0b0111, 4); // CodeMmmx prefix "1110" LSB-first
+            out.write(idx, idxBits);
+            out.write(w & 0xff, 8);
+            dict.push(w);
+            continue;
+        }
+        idx = dict.findUpper(w, 2);
+        if (idx != Dictionary::npos) {
+            out.write(0b0011, 4); // CodeMmxx prefix "1100" LSB-first
+            out.write(idx, idxBits);
+            out.write(w & 0xffff, 16);
+            dict.push(w);
+            continue;
+        }
+
+        out.write(0b10, 2); // CodeXxxx prefix "01" LSB-first
+        out.write(w, 32);
+        dict.push(w);
+    }
+    return {out.bits(), out.data()};
+}
+
+std::vector<std::uint8_t>
+CPackCompressor::decompress(const std::vector<std::uint8_t> &payload,
+                            std::size_t block_size) const
+{
+    BitReader in(payload);
+    Dictionary dict;
+    std::vector<std::uint8_t> block(block_size, 0);
+    const std::size_t words = block_size / 4;
+
+    for (std::size_t i = 0; i < words; ++i) {
+        std::uint32_t w = 0;
+        const unsigned b0 = static_cast<unsigned>(in.read(1));
+        const unsigned b1 = static_cast<unsigned>(in.read(1));
+        if (b0 == 0 && b1 == 0) {
+            w = 0;
+        } else if (b0 == 0 && b1 == 1) {
+            // raw word
+            w = static_cast<std::uint32_t>(in.read(32));
+            dict.push(w);
+        } else if (b0 == 1 && b1 == 0) {
+            // full dictionary match
+            const auto idx = static_cast<std::size_t>(in.read(idxBits));
+            w = dict.resolve(idx);
+        } else {
+            // 4-bit codes: read the remaining 2 prefix bits
+            const unsigned b2 = static_cast<unsigned>(in.read(1));
+            const unsigned b3 = static_cast<unsigned>(in.read(1));
+            if (b2 == 0 && b3 == 0) {
+                // mmxx
+                const auto idx = static_cast<std::size_t>(in.read(idxBits));
+                const std::uint32_t low =
+                    static_cast<std::uint32_t>(in.read(16));
+                w = (dict.resolve(idx) & 0xffff0000u) | low;
+                dict.push(w);
+            } else if (b2 == 0 && b3 == 1) {
+                // zzzx
+                w = static_cast<std::uint32_t>(in.read(8));
+            } else if (b2 == 1 && b3 == 0) {
+                // mmmx
+                const auto idx = static_cast<std::size_t>(in.read(idxBits));
+                const std::uint32_t low =
+                    static_cast<std::uint32_t>(in.read(8));
+                w = (dict.resolve(idx) & 0xffffff00u) | low;
+                dict.push(w);
+            } else {
+                panic("bad C-Pack code");
+            }
+        }
+        storeWord(block.data() + i * 4, w);
+    }
+    return block;
+}
+
+} // namespace kagura

@@ -1,0 +1,39 @@
+#include "compress/dzc.hh"
+
+#include "compress/bitstream.hh"
+
+namespace kagura
+{
+
+CompressionResult
+DzcCompressor::compress(const std::vector<std::uint8_t> &block) const
+{
+    BitWriter out;
+    // ZIB vector first: 1 = byte is zero (stored implicitly).
+    for (std::uint8_t b : block)
+        out.write(b == 0 ? 1 : 0, 1);
+    // Then the non-zero bytes in order.
+    for (std::uint8_t b : block) {
+        if (b != 0)
+            out.write(b, 8);
+    }
+    return {out.bits(), out.data()};
+}
+
+std::vector<std::uint8_t>
+DzcCompressor::decompress(const std::vector<std::uint8_t> &payload,
+                          std::size_t block_size) const
+{
+    BitReader in(payload);
+    std::vector<bool> zero(block_size);
+    for (std::size_t i = 0; i < block_size; ++i)
+        zero[i] = in.read(1) != 0;
+    std::vector<std::uint8_t> block(block_size, 0);
+    for (std::size_t i = 0; i < block_size; ++i) {
+        if (!zero[i])
+            block[i] = static_cast<std::uint8_t>(in.read(8));
+    }
+    return block;
+}
+
+} // namespace kagura

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Dynamic Zero Compression [160].
+ *
+ * One Zero Indicator Bit (ZIB) per byte; zero bytes store only their
+ * indicator, non-zero bytes are stored verbatim after the ZIB vector.
+ */
+
+#ifndef KAGURA_COMPRESS_DZC_HH
+#define KAGURA_COMPRESS_DZC_HH
+
+#include "compress/compressor.hh"
+
+namespace kagura
+{
+
+/** Dynamic Zero Compression compressor. */
+class DzcCompressor : public Compressor
+{
+  public:
+    CompressorKind kind() const override { return CompressorKind::Dzc; }
+    const char *name() const override { return "DZC"; }
+
+    CompressionResult
+    compress(const std::vector<std::uint8_t> &block) const override;
+
+    std::vector<std::uint8_t>
+    decompress(const std::vector<std::uint8_t> &payload,
+               std::size_t block_size) const override;
+
+    CompressionCosts
+    costs() const override
+    {
+        // DZC is by far the lightest circuit: a ZIB check gates the
+        // byte array; both directions are a fraction of BDI's cost.
+        return {0.90, 0.25, 1, 1};
+    }
+};
+
+} // namespace kagura
+
+#endif // KAGURA_COMPRESS_DZC_HH

@@ -1,0 +1,161 @@
+#include "compress/fpc.hh"
+
+#include "compress/bitstream.hh"
+
+namespace kagura
+{
+
+namespace
+{
+
+/** FPC 3-bit prefixes. */
+enum FpcPrefix : unsigned
+{
+    FpcZeroRun = 0,   ///< run of 1..8 zero words (3-bit run length)
+    FpcSigned4 = 1,   ///< 4-bit sign-extended
+    FpcSigned8 = 2,   ///< 8-bit sign-extended
+    FpcSigned16 = 3,  ///< 16-bit sign-extended
+    FpcHighZero = 4,  ///< halfword padded with a zero halfword
+    FpcTwoHalves = 5, ///< two halfwords, each 8-bit sign-extended
+    FpcRepByte = 6,   ///< one byte repeated four times
+    FpcRaw = 7,       ///< uncompressed word
+};
+
+constexpr unsigned prefixBits = 3;
+
+std::uint32_t
+loadWord(const std::uint8_t *src)
+{
+    return static_cast<std::uint32_t>(src[0]) |
+           (static_cast<std::uint32_t>(src[1]) << 8) |
+           (static_cast<std::uint32_t>(src[2]) << 16) |
+           (static_cast<std::uint32_t>(src[3]) << 24);
+}
+
+void
+storeWord(std::uint8_t *dst, std::uint32_t v)
+{
+    dst[0] = static_cast<std::uint8_t>(v);
+    dst[1] = static_cast<std::uint8_t>(v >> 8);
+    dst[2] = static_cast<std::uint8_t>(v >> 16);
+    dst[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+} // namespace
+
+CompressionResult
+FpcCompressor::compress(const std::vector<std::uint8_t> &block) const
+{
+    BitWriter out;
+    const std::size_t words = block.size() / 4;
+    kagura_assert(words * 4 == block.size());
+
+    std::size_t i = 0;
+    while (i < words) {
+        const std::uint32_t w = loadWord(block.data() + i * 4);
+
+        if (w == 0) {
+            // Collapse up to 8 consecutive zero words into one token.
+            std::size_t run = 1;
+            while (run < 8 && i + run < words &&
+                   loadWord(block.data() + (i + run) * 4) == 0) {
+                ++run;
+            }
+            out.write(FpcZeroRun, prefixBits);
+            out.write(run - 1, 3);
+            i += run;
+            continue;
+        }
+
+        const std::int64_t sw = signExtend(w, 32);
+        const std::uint16_t lo = static_cast<std::uint16_t>(w);
+        const std::uint16_t hi = static_cast<std::uint16_t>(w >> 16);
+
+        if (fitsSigned(sw, 4)) {
+            out.write(FpcSigned4, prefixBits);
+            out.write(w & 0xf, 4);
+        } else if (fitsSigned(sw, 8)) {
+            out.write(FpcSigned8, prefixBits);
+            out.write(w & 0xff, 8);
+        } else if (fitsSigned(sw, 16)) {
+            out.write(FpcSigned16, prefixBits);
+            out.write(w & 0xffff, 16);
+        } else if (lo == 0) {
+            out.write(FpcHighZero, prefixBits);
+            out.write(hi, 16);
+        } else if (fitsSigned(signExtend(lo, 16), 8) &&
+                   fitsSigned(signExtend(hi, 16), 8)) {
+            out.write(FpcTwoHalves, prefixBits);
+            out.write(lo & 0xff, 8);
+            out.write(hi & 0xff, 8);
+        } else if ((w & 0xff) == ((w >> 8) & 0xff) &&
+                   (w & 0xff) == ((w >> 16) & 0xff) &&
+                   (w & 0xff) == ((w >> 24) & 0xff)) {
+            out.write(FpcRepByte, prefixBits);
+            out.write(w & 0xff, 8);
+        } else {
+            out.write(FpcRaw, prefixBits);
+            out.write(w, 32);
+        }
+        ++i;
+    }
+    return {out.bits(), out.data()};
+}
+
+std::vector<std::uint8_t>
+FpcCompressor::decompress(const std::vector<std::uint8_t> &payload,
+                          std::size_t block_size) const
+{
+    BitReader in(payload);
+    std::vector<std::uint8_t> block(block_size, 0);
+    const std::size_t words = block_size / 4;
+
+    std::size_t i = 0;
+    while (i < words) {
+        const unsigned prefix = static_cast<unsigned>(in.read(prefixBits));
+        std::uint32_t w = 0;
+        switch (prefix) {
+          case FpcZeroRun: {
+            const std::size_t run = in.read(3) + 1;
+            i += run; // words default to zero
+            continue;
+          }
+          case FpcSigned4:
+            w = static_cast<std::uint32_t>(signExtend(in.read(4), 4));
+            break;
+          case FpcSigned8:
+            w = static_cast<std::uint32_t>(signExtend(in.read(8), 8));
+            break;
+          case FpcSigned16:
+            w = static_cast<std::uint32_t>(signExtend(in.read(16), 16));
+            break;
+          case FpcHighZero:
+            w = static_cast<std::uint32_t>(in.read(16)) << 16;
+            break;
+          case FpcTwoHalves: {
+            const auto lo = static_cast<std::uint16_t>(
+                signExtend(in.read(8), 8));
+            const auto hi = static_cast<std::uint16_t>(
+                signExtend(in.read(8), 8));
+            w = static_cast<std::uint32_t>(lo) |
+                (static_cast<std::uint32_t>(hi) << 16);
+            break;
+          }
+          case FpcRepByte: {
+            const std::uint32_t b = static_cast<std::uint32_t>(in.read(8));
+            w = b | (b << 8) | (b << 16) | (b << 24);
+            break;
+          }
+          case FpcRaw:
+            w = static_cast<std::uint32_t>(in.read(32));
+            break;
+          default:
+            panic("bad FPC prefix %u", prefix);
+        }
+        storeWord(block.data() + i * 4, w);
+        ++i;
+    }
+    return block;
+}
+
+} // namespace kagura

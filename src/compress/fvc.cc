@@ -1,0 +1,118 @@
+#include "compress/fvc.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "compress/bitstream.hh"
+
+namespace kagura
+{
+
+namespace
+{
+
+std::uint32_t
+loadWord(const std::uint8_t *src)
+{
+    return static_cast<std::uint32_t>(src[0]) |
+           (static_cast<std::uint32_t>(src[1]) << 8) |
+           (static_cast<std::uint32_t>(src[2]) << 16) |
+           (static_cast<std::uint32_t>(src[3]) << 24);
+}
+
+void
+storeWord(std::uint8_t *dst, std::uint32_t v)
+{
+    dst[0] = static_cast<std::uint8_t>(v);
+    dst[1] = static_cast<std::uint8_t>(v >> 8);
+    dst[2] = static_cast<std::uint8_t>(v >> 16);
+    dst[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+constexpr unsigned codeBits = 3;
+constexpr unsigned literalCode = 7;
+
+} // namespace
+
+CompressionResult
+FvcCompressor::compress(const std::vector<std::uint8_t> &block) const
+{
+    const std::size_t words = block.size() / 4;
+    kagura_assert(words * 4 == block.size());
+
+    // Tally distinct values, keep the most frequent repeaters.
+    std::vector<std::pair<std::uint32_t, unsigned>> tally;
+    for (std::size_t i = 0; i < words; ++i) {
+        const std::uint32_t w = loadWord(block.data() + i * 4);
+        bool found = false;
+        for (auto &[value, count] : tally) {
+            if (value == w) {
+                ++count;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            tally.emplace_back(w, 1);
+    }
+    std::stable_sort(tally.begin(), tally.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+
+    std::vector<std::uint32_t> dict;
+    for (const auto &[value, count] : tally) {
+        if (count < 2 || dict.size() == dictCapacity)
+            break;
+        dict.push_back(value);
+    }
+
+    // Payload: dictionary size + entries, then per-word codes.
+    BitWriter out;
+    out.write(dict.size(), 3);
+    for (std::uint32_t value : dict)
+        out.write(value, 32);
+    for (std::size_t i = 0; i < words; ++i) {
+        const std::uint32_t w = loadWord(block.data() + i * 4);
+        unsigned code = literalCode;
+        for (std::size_t d = 0; d < dict.size(); ++d) {
+            if (dict[d] == w) {
+                code = static_cast<unsigned>(d);
+                break;
+            }
+        }
+        out.write(code, codeBits);
+        if (code == literalCode)
+            out.write(w, 32);
+    }
+    return {out.bits(), out.data()};
+}
+
+std::vector<std::uint8_t>
+FvcCompressor::decompress(const std::vector<std::uint8_t> &payload,
+                          std::size_t block_size) const
+{
+    BitReader in(payload);
+    const auto dict_size = static_cast<std::size_t>(in.read(3));
+    std::vector<std::uint32_t> dict(dict_size);
+    for (std::uint32_t &value : dict)
+        value = static_cast<std::uint32_t>(in.read(32));
+
+    std::vector<std::uint8_t> block(block_size, 0);
+    const std::size_t words = block_size / 4;
+    for (std::size_t i = 0; i < words; ++i) {
+        const unsigned code = static_cast<unsigned>(in.read(codeBits));
+        std::uint32_t w;
+        if (code == literalCode) {
+            w = static_cast<std::uint32_t>(in.read(32));
+        } else {
+            kagura_assert(code < dict.size());
+            w = dict[code];
+        }
+        storeWord(block.data() + i * 4, w);
+    }
+    return block;
+}
+
+} // namespace kagura

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Batteryless-AIoT extension kernel (the Section VII-B discussion):
+ * fixed-point neural-network inference over a sensor window -- a 1-D
+ * convolution bank, ReLU, and a dense classifier head -- the shape of
+ * workload the paper argues benefits most from intermittence-aware
+ * compression (memory-intensive, latency-sensitive).
+ *
+ * Not part of the paper's 20-application evaluation suite; exposed via
+ * extensionWorkloadNames().
+ */
+
+#include "core/kernels/kernels.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace kagura
+{
+namespace kernels
+{
+
+Workload
+aiotDnn()
+{
+    TraceRecorder rec;
+    constexpr unsigned window = 64;   // sensor samples per frame
+    constexpr unsigned filters = 8;   // conv filters
+    constexpr unsigned taps = 5;      // taps per filter
+    constexpr unsigned classes = 6;   // classifier outputs
+    constexpr unsigned frames = 220;  // inferences per run
+
+    // Quantised weights are C `int`s with small magnitudes: the
+    // classic compressible payload of on-device models.
+    const Addr conv_w = rec.allocate(filters * taps * 4);
+    const Addr conv_b = rec.allocate(filters * 4);
+    const Addr dense_w = rec.allocate(classes * filters * 4);
+    const Addr dense_b = rec.allocate(classes * 4);
+    const Addr samples = rec.allocate(window * 4);
+    const Addr features = rec.allocate(filters * 4);
+    const Addr logits = rec.allocate(classes * 4);
+    const Addr predictions = rec.allocate(frames);
+
+    Rng rng(0xa107);
+    for (unsigned i = 0; i < filters * taps; ++i)
+        rec.initValue(conv_w + 4 * i,
+                      static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                          rng.below(31)) - 15),
+                      4);
+    for (unsigned i = 0; i < filters; ++i)
+        rec.initValue(conv_b + 4 * i,
+                      static_cast<std::uint32_t>(rng.below(64)), 4);
+    for (unsigned i = 0; i < classes * filters; ++i)
+        rec.initValue(dense_w + 4 * i,
+                      static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                          rng.below(63)) - 31),
+                      4);
+    for (unsigned i = 0; i < classes; ++i)
+        rec.initValue(dense_b + 4 * i,
+                      static_cast<std::uint32_t>(rng.below(128)), 4);
+
+    for (unsigned frame = 0; frame < frames; ++frame) {
+        // "Sample the sensor": write the window (slow drift + noise).
+        rec.beginLoop();
+        for (unsigned i = 0; i < window; ++i) {
+            const std::int32_t v =
+                static_cast<std::int32_t>(
+                    200 + (frame * 7 + i * 3) % 120) +
+                static_cast<std::int32_t>(rng.below(17)) - 8;
+            rec.store(samples + 4 * i,
+                      static_cast<std::uint32_t>(v), 4);
+            rec.alu(4);
+            rec.endIteration();
+        }
+        rec.endLoop();
+
+        // Convolution bank with stride = taps, mean-pooled per filter.
+        rec.beginLoop();
+        for (unsigned f = 0; f < filters; ++f) {
+            std::int64_t pooled = 0;
+            rec.beginLoop();
+            for (unsigned start = 0; start + taps <= window;
+                 start += taps) {
+                std::int64_t acc = static_cast<std::int32_t>(
+                    rec.load(conv_b + 4 * f, 4));
+                for (unsigned t = 0; t < taps; ++t) {
+                    const auto w = static_cast<std::int32_t>(
+                        rec.load(conv_w + 4 * (f * taps + t), 4));
+                    const auto x = static_cast<std::int32_t>(
+                        rec.load(samples + 4 * (start + t), 4));
+                    acc += static_cast<std::int64_t>(w) * x;
+                }
+                rec.alu(2 * taps + 3);
+                pooled += std::max<std::int64_t>(acc >> 4, 0); // ReLU
+                rec.endIteration();
+            }
+            rec.endLoop();
+            rec.store(features + 4 * f,
+                      static_cast<std::uint32_t>(
+                          static_cast<std::int32_t>(
+                              pooled / (window / taps))),
+                      4);
+            rec.alu(3);
+            rec.endIteration();
+        }
+        rec.endLoop();
+
+        // Dense head + argmax.
+        std::int64_t best = INT64_MIN;
+        unsigned best_class = 0;
+        rec.beginLoop();
+        for (unsigned c = 0; c < classes; ++c) {
+            std::int64_t acc = static_cast<std::int32_t>(
+                rec.load(dense_b + 4 * c, 4));
+            for (unsigned f = 0; f < filters; ++f) {
+                const auto w = static_cast<std::int32_t>(
+                    rec.load(dense_w + 4 * (c * filters + f), 4));
+                const auto x = static_cast<std::int32_t>(
+                    rec.load(features + 4 * f, 4));
+                acc += static_cast<std::int64_t>(w) * x;
+            }
+            rec.alu(2 * filters + 4);
+            rec.store(logits + 4 * c,
+                      static_cast<std::uint32_t>(
+                          static_cast<std::int32_t>(acc >> 6)),
+                      4);
+            if (acc > best) {
+                best = acc;
+                best_class = c;
+            }
+            rec.endIteration();
+        }
+        rec.endLoop();
+        rec.store(predictions + frame,
+                  static_cast<std::uint8_t>(best_class), 1);
+        rec.alu(4);
+    }
+    return rec.finish("aiot_dnn");
+}
+
+} // namespace kernels
+} // namespace kagura

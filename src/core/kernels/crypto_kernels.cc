@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Cipher and hash kernels. Blowfish's 4 KB of random S-boxes give an
+ * incompressible, poorly-localised working set (the apps the paper
+ * notes "do not heavily rely on cache resources" and where ACC backs
+ * off); SHA is ALU-dominated; CRC-32 streams a buffer through a 1 KB
+ * table.
+ */
+
+#include "core/kernels/kernels.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace kagura
+{
+namespace kernels
+{
+
+namespace
+{
+
+constexpr unsigned feistelRounds = 16;
+
+/** Layout of the Feistel cipher state. */
+struct FeistelLayout
+{
+    Addr sbox[4]; ///< 4 x 256 x u32, random (incompressible)
+    Addr parray;  ///< 18 x u32 subkeys
+    Addr text;    ///< plaintext / ciphertext buffer
+    std::size_t blocks;
+};
+
+FeistelLayout
+layoutFeistel(TraceRecorder &rec, std::size_t blocks, std::uint64_t seed)
+{
+    FeistelLayout lay{};
+    lay.blocks = blocks;
+    Rng rng(seed);
+    for (auto &box : lay.sbox) {
+        box = rec.allocate(256 * 4);
+        for (unsigned i = 0; i < 256; ++i)
+            rec.initValue(box + 4 * i,
+                          static_cast<std::uint32_t>(rng.next()), 4);
+    }
+    lay.parray = rec.allocate(18 * 4);
+    for (unsigned i = 0; i < 18; ++i)
+        rec.initValue(lay.parray + 4 * i,
+                      static_cast<std::uint32_t>(rng.next()), 4);
+    lay.text = rec.allocate(blocks * 8);
+    // Plaintext: ASCII-like bytes (the realistic compressible side).
+    for (std::size_t i = 0; i < blocks * 8; ++i)
+        rec.initValue(lay.text + i,
+                      0x20 + static_cast<std::uint8_t>(rng.below(95)), 1);
+    return lay;
+}
+
+/** The Feistel F function, recording its four S-box loads. */
+std::uint32_t
+feistelF(TraceRecorder &rec, const FeistelLayout &lay, std::uint32_t x)
+{
+    const std::uint32_t a = (x >> 24) & 0xff;
+    const std::uint32_t b = (x >> 16) & 0xff;
+    const std::uint32_t c = (x >> 8) & 0xff;
+    const std::uint32_t d = x & 0xff;
+    const auto s0 = static_cast<std::uint32_t>(
+        rec.load(lay.sbox[0] + 4 * a, 4));
+    const auto s1 = static_cast<std::uint32_t>(
+        rec.load(lay.sbox[1] + 4 * b, 4));
+    const auto s2 = static_cast<std::uint32_t>(
+        rec.load(lay.sbox[2] + 4 * c, 4));
+    const auto s3 = static_cast<std::uint32_t>(
+        rec.load(lay.sbox[3] + 4 * d, 4));
+    rec.alu(7); // byte extracts, add/xor/add
+    return ((s0 + s1) ^ s2) + s3;
+}
+
+/** Encrypt or decrypt the text buffer in place. */
+Workload
+runFeistel(const char *name, bool decrypt)
+{
+    TraceRecorder rec;
+    FeistelLayout lay = layoutFeistel(rec, 700, 0xb10f15);
+
+    rec.beginLoop();
+    for (std::size_t blk = 0; blk < lay.blocks; ++blk) {
+        auto left = static_cast<std::uint32_t>(
+            rec.load(lay.text + 8 * blk, 4));
+        auto right = static_cast<std::uint32_t>(
+            rec.load(lay.text + 8 * blk + 4, 4));
+        rec.beginLoop();
+        for (unsigned r = 0; r < feistelRounds; ++r) {
+            const unsigned idx = decrypt ? feistelRounds - r : r;
+            const auto subkey = static_cast<std::uint32_t>(
+                rec.load(lay.parray + 4 * idx, 4));
+            left ^= subkey;
+            right ^= feistelF(rec, lay, left);
+            rec.alu(3); // xor + swap
+            std::swap(left, right);
+            rec.endIteration();
+        }
+        rec.endLoop();
+        std::swap(left, right);
+        rec.alu(4); // final whitening
+        rec.store(lay.text + 8 * blk, left, 4);
+        rec.store(lay.text + 8 * blk + 4, right, 4);
+        rec.endIteration();
+    }
+    rec.endLoop();
+    return rec.finish(name);
+}
+
+} // namespace
+
+Workload
+blowfish()
+{
+    return runFeistel("blowfish", false);
+}
+
+Workload
+blowfishd()
+{
+    return runFeistel("blowfishd", true);
+}
+
+Workload
+sha()
+{
+    TraceRecorder rec;
+    const std::size_t chunks = 170; // 64 B each
+    const Addr msg = rec.allocate(chunks * 64);
+    const Addr digest = rec.allocate(20);
+
+    Rng rng(0x5a51);
+    for (std::size_t i = 0; i < chunks * 64; ++i)
+        rec.initValue(msg + i,
+                      0x41 + static_cast<std::uint8_t>(rng.below(26)), 1);
+
+    std::array<std::uint32_t, 5> h = {0x67452301u, 0xefcdab89u,
+                                      0x98badcfeu, 0x10325476u,
+                                      0xc3d2e1f0u};
+
+    rec.beginLoop();
+    for (std::size_t c = 0; c < chunks; ++c) {
+        std::array<std::uint32_t, 80> w{};
+        for (unsigned i = 0; i < 16; ++i)
+            w[i] = static_cast<std::uint32_t>(
+                rec.load(msg + 64 * c + 4 * i, 4));
+        rec.alu(16); // big-endian byte swaps
+        for (unsigned i = 16; i < 80; ++i) {
+            const std::uint32_t x =
+                w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16];
+            w[i] = (x << 1) | (x >> 31);
+        }
+        rec.alu(64 * 4); // message schedule expansion
+        std::uint32_t a = h[0], b = h[1], cc = h[2], d = h[3], e = h[4];
+        for (unsigned i = 0; i < 80; ++i) {
+            std::uint32_t f, k;
+            if (i < 20) {
+                f = (b & cc) | (~b & d);
+                k = 0x5a827999u;
+            } else if (i < 40) {
+                f = b ^ cc ^ d;
+                k = 0x6ed9eba1u;
+            } else if (i < 60) {
+                f = (b & cc) | (b & d) | (cc & d);
+                k = 0x8f1bbcdcu;
+            } else {
+                f = b ^ cc ^ d;
+                k = 0xca62c1d6u;
+            }
+            const std::uint32_t temp =
+                ((a << 5) | (a >> 27)) + f + e + k + w[i];
+            e = d;
+            d = cc;
+            cc = (b << 30) | (b >> 2);
+            b = a;
+            a = temp;
+        }
+        rec.alu(80 * 9); // 80 rounds, ~9 ops each, all in registers
+        h[0] += a;
+        h[1] += b;
+        h[2] += cc;
+        h[3] += d;
+        h[4] += e;
+        rec.alu(5);
+        rec.endIteration();
+    }
+    rec.endLoop();
+
+    for (unsigned i = 0; i < 5; ++i)
+        rec.store(digest + 4 * i, h[i], 4);
+    return rec.finish("sha");
+}
+
+Workload
+crc32()
+{
+    TraceRecorder rec;
+    const std::size_t length = 22000;
+    const Addr table = rec.allocate(256 * 4);
+    const Addr buffer = rec.allocate(length);
+    const Addr result = rec.allocate(4);
+
+    // Standard CRC-32 (reflected) table.
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (unsigned k = 0; k < 8; ++k)
+            crc = (crc >> 1) ^ (crc & 1 ? 0xedb88320u : 0u);
+        rec.initValue(table + 4 * i, crc, 4);
+    }
+    // Input: a log-like byte stream (digits, letters, separators).
+    Rng rng(0xc3c32);
+    for (std::size_t i = 0; i < length; ++i) {
+        const std::uint8_t byte =
+            rng.chance(0.2) ? ' ' : '0' + static_cast<std::uint8_t>(
+                                              rng.below(10));
+        rec.initValue(buffer + i, byte, 1);
+    }
+
+    std::uint32_t crc = 0xffffffffu;
+    rec.beginLoop();
+    for (std::size_t i = 0; i < length; ++i) {
+        const auto byte = static_cast<std::uint8_t>(
+            rec.load(buffer + i, 1));
+        const auto entry = static_cast<std::uint32_t>(
+            rec.load(table + 4 * ((crc ^ byte) & 0xff), 4));
+        crc = (crc >> 8) ^ entry;
+        rec.alu(4); // xor, mask, shift, xor
+        rec.endIteration();
+    }
+    rec.endLoop();
+    rec.store(result, ~crc, 4);
+    return rec.finish("crc32");
+}
+
+} // namespace kernels
+} // namespace kagura

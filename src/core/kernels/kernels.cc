@@ -1,0 +1,104 @@
+#include "core/kernels/kernels.hh"
+
+#include <functional>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+
+namespace
+{
+
+using Builder = Workload (*)();
+
+struct Entry
+{
+    const char *name;
+    Builder builder;
+    bool extension; ///< not part of the paper's 20-app suite
+};
+
+const std::vector<Entry> &
+registry()
+{
+    static const std::vector<Entry> table = {
+        {"adpcm_c", kernels::adpcmC, false},
+        {"adpcm_d", kernels::adpcmD, false},
+        {"basicmath", kernels::basicmath, false},
+        {"bitcount", kernels::bitcount, false},
+        {"blowfish", kernels::blowfish, false},
+        {"blowfishd", kernels::blowfishd, false},
+        {"crc32", kernels::crc32, false},
+        {"dijkstra", kernels::dijkstra, false},
+        {"fft", kernels::fft, false},
+        {"g721d", kernels::g721d, false},
+        {"g721e", kernels::g721e, false},
+        {"jpeg", kernels::jpeg, false},
+        {"jpegd", kernels::jpegd, false},
+        {"mpeg2d", kernels::mpeg2d, false},
+        {"patricia", kernels::patricia, false},
+        {"qsort", kernels::qsort, false},
+        {"sha", kernels::sha, false},
+        {"strings", kernels::strings, false},
+        {"susans", kernels::susans, false},
+        {"typeset", kernels::typeset, false},
+        {"aiot_dnn", kernels::aiotDnn, true},
+    };
+    return table;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const Entry &entry : registry()) {
+            if (!entry.extension)
+                out.push_back(entry.name);
+        }
+        return out;
+    }();
+    return names;
+}
+
+const std::vector<std::string> &
+extensionWorkloadNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const Entry &entry : registry()) {
+            if (entry.extension)
+                out.push_back(entry.name);
+        }
+        return out;
+    }();
+    return names;
+}
+
+Workload
+makeWorkload(const std::string &name)
+{
+    for (const Entry &entry : registry()) {
+        if (entry.name == name)
+            return entry.builder();
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+const std::vector<std::string> &
+intensityStudyNames()
+{
+    // Six applications spanning the arithmetic-intensity range, from
+    // memory-bound (mpeg2d, jpegd) to compute-bound (patricia,
+    // strings), mirroring Fig. 17's selection.
+    static const std::vector<std::string> names = {
+        "mpeg2d", "jpegd", "g721e", "g721d", "patricia", "strings",
+    };
+    return names;
+}
+
+} // namespace kagura

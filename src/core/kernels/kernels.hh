@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The 20 synthetic embedded kernels standing in for the paper's
+ * MiBench/MediaBench suite. Each builder runs a real algorithm on the
+ * host, recording its committed micro-ops and data image through a
+ * TraceRecorder (see workload.hh for the substitution rationale).
+ *
+ * The names deliberately match the applications in the paper's figures
+ * (blowfish/blowfishd, g721d/g721e, jpeg/jpegd, mpeg2d, susans,
+ * typeset, patricia, strings, ...).
+ */
+
+#ifndef KAGURA_CORE_KERNELS_KERNELS_HH
+#define KAGURA_CORE_KERNELS_KERNELS_HH
+
+#include "core/workload.hh"
+
+namespace kagura
+{
+namespace kernels
+{
+
+// codec_kernels.cc -- speech codecs
+Workload adpcmC();  ///< ADPCM (IMA) encoder: PCM -> 4-bit codes
+Workload adpcmD();  ///< ADPCM decoder
+Workload g721e();   ///< G.721-style ADPCM encoder (table-driven)
+Workload g721d();   ///< G.721-style ADPCM decoder
+
+// crypto_kernels.cc -- ciphers and hashes
+Workload blowfish();  ///< Feistel cipher, encrypt (4 KB random S-boxes)
+Workload blowfishd(); ///< Feistel cipher, decrypt
+Workload sha();       ///< SHA-1-style hash (ALU-dominated rounds)
+Workload crc32();     ///< table-driven CRC-32
+
+// media_kernels.cc -- image/video processing
+Workload jpeg();   ///< 8x8 DCT + quantise (encode path)
+Workload jpegd();  ///< dequantise + IDCT (decode path)
+Workload mpeg2d(); ///< motion compensation + residual add
+Workload susans(); ///< SUSAN-style smoothing (3x3 neighbourhoods)
+
+// network_kernels.cc -- graph/trie/search
+Workload dijkstra(); ///< shortest paths over an adjacency matrix
+Workload patricia(); ///< PATRICIA trie lookups (ALU-heavy hashing)
+Workload strings();  ///< Boyer-Moore-style substring search
+Workload fft();      ///< fixed-point radix-2 FFT
+
+// office_kernels.cc -- automotive/office utilities
+Workload typeset();   ///< glyph metrics + line breaking
+Workload qsort();     ///< quicksort over 32-bit keys
+Workload basicmath(); ///< integer sqrt / cubic evaluation sweeps
+Workload bitcount();  ///< multi-strategy population counts
+
+// aiot_kernels.cc -- Section VII-B extension workloads
+Workload aiotDnn(); ///< fixed-point DNN inference (conv + dense)
+
+} // namespace kernels
+} // namespace kagura
+
+#endif // KAGURA_CORE_KERNELS_KERNELS_HH

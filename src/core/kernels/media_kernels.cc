@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Image/video kernels. These are the memory-bound end of the suite
+ * (Fig. 17's jpegd/jpeg/mpeg2d): pixel streams dominate, data is
+ * smooth 8-bit imagery and sparse coefficient planes, both highly
+ * compressible.
+ */
+
+#include "core/kernels/kernels.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace kagura
+{
+namespace kernels
+{
+
+namespace
+{
+
+constexpr unsigned imageW = 128;
+constexpr unsigned imageH = 96;
+
+/** Smooth synthetic photo: gradients + soft blobs + mild noise. */
+std::uint8_t
+pixelAt(unsigned x, unsigned y, Rng &rng)
+{
+    int v = 40 + (x * 120) / imageW + (y * 60) / imageH;
+    const int dx = static_cast<int>(x) - 40;
+    const int dy = static_cast<int>(y) - 32;
+    if (dx * dx + dy * dy < 300)
+        v += 60;
+    v += static_cast<int>(rng.below(7)) - 3;
+    return static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+}
+
+/** JPEG luminance quantisation table (scaled standard values). */
+const std::array<std::uint8_t, 64> &
+quantTable()
+{
+    static const std::array<std::uint8_t, 64> q = {
+        16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,
+        58, 60, 55, 14, 13,  16,  24,  40,  57, 69, 56, 14, 17,
+        22, 29, 51, 87,  80,  62, 18, 22,  37, 56, 68, 109, 103,
+        77, 24, 35, 55,  64,  81, 104, 113, 92, 49, 64, 78,  87,
+        103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    };
+    return q;
+}
+
+/** Integer 1-D DCT-II on 8 samples (host math). */
+void
+dct8(std::array<int, 8> &v)
+{
+    // Simple O(n^2) integer DCT with fixed-point cosines (<<8).
+    static const int cosTab[8][8] = {
+        {256, 256, 256, 256, 256, 256, 256, 256},
+        {355, 301, 201, 71, -71, -201, -301, -355},
+        {334, 139, -139, -334, -334, -139, 139, 334},
+        {301, -71, -355, -201, 201, 355, 71, -301},
+        {256, -256, -256, 256, 256, -256, -256, 256},
+        {201, -355, 71, 301, -301, -71, 355, -201},
+        {139, -334, 334, -139, -139, 334, -334, 139},
+        {71, -201, 301, -355, 355, -301, 201, -71},
+    };
+    std::array<int, 8> out{};
+    for (unsigned k = 0; k < 8; ++k) {
+        int acc = 0;
+        for (unsigned n = 0; n < 8; ++n)
+            acc += cosTab[k][n] * v[n];
+        out[k] = acc >> 9;
+    }
+    v = out;
+}
+
+/** Integer inverse of dct8 (approximate; symmetric form). */
+void
+idct8(std::array<int, 8> &v)
+{
+    static const int cosTab[8][8] = {
+        {256, 256, 256, 256, 256, 256, 256, 256},
+        {355, 301, 201, 71, -71, -201, -301, -355},
+        {334, 139, -139, -334, -334, -139, 139, 334},
+        {301, -71, -355, -201, 201, 355, 71, -301},
+        {256, -256, -256, 256, 256, -256, -256, 256},
+        {201, -355, 71, 301, -301, -71, 355, -201},
+        {139, -334, 334, -139, -139, 334, -334, 139},
+        {71, -201, 301, -355, 355, -301, 201, -71},
+    };
+    std::array<int, 8> out{};
+    for (unsigned n = 0; n < 8; ++n) {
+        int acc = 0;
+        for (unsigned k = 0; k < 8; ++k)
+            acc += cosTab[k][n] * v[k];
+        out[n] = acc >> 9;
+    }
+    v = out;
+}
+
+} // namespace
+
+Workload
+jpeg()
+{
+    TraceRecorder rec;
+    const Addr image = rec.allocate(imageW * imageH);
+    const Addr qtab = rec.allocate(64);
+    const Addr coeffs = rec.allocate(imageW * imageH * 4);
+
+    Rng rng(0x19e6);
+    for (unsigned y = 0; y < imageH; ++y)
+        for (unsigned x = 0; x < imageW; ++x)
+            rec.initValue(image + y * imageW + x, pixelAt(x, y, rng), 1);
+    for (unsigned i = 0; i < 64; ++i)
+        rec.initValue(qtab + i, quantTable()[i], 1);
+
+    rec.beginLoop();
+    for (unsigned by = 0; by < imageH / 8; ++by) {
+        for (unsigned bx = 0; bx < imageW / 8; ++bx) {
+            std::array<std::array<int, 8>, 8> block{};
+            // Load the 8x8 block.
+            rec.beginLoop();
+            for (unsigned y = 0; y < 8; ++y) {
+                for (unsigned x = 0; x < 8; ++x) {
+                    block[y][x] = static_cast<int>(rec.load(
+                        image + (by * 8 + y) * imageW + bx * 8 + x, 1));
+                    block[y][x] -= 128;
+                }
+                rec.alu(8); // level shift
+                rec.endIteration();
+            }
+            rec.endLoop();
+            // Row then column DCT (host math; ALU groups model cost).
+            for (unsigned y = 0; y < 8; ++y)
+                dct8(block[y]);
+            rec.alu(8 * 12);
+            for (unsigned x = 0; x < 8; ++x) {
+                std::array<int, 8> col{};
+                for (unsigned y = 0; y < 8; ++y)
+                    col[y] = block[y][x];
+                dct8(col);
+                for (unsigned y = 0; y < 8; ++y)
+                    block[y][x] = col[y];
+            }
+            rec.alu(8 * 12);
+            // Quantise and store the (sparse) coefficients.
+            rec.beginLoop();
+            for (unsigned y = 0; y < 8; ++y) {
+                for (unsigned x = 0; x < 8; ++x) {
+                    const int q = static_cast<int>(
+                        rec.load(qtab + y * 8 + x, 1));
+                    const int c = block[y][x] / (q ? q : 1);
+                    rec.alu(2);
+                    rec.store(coeffs +
+                                  4 * ((by * 8 + y) * imageW + bx * 8 +
+                                       x),
+                              static_cast<std::uint32_t>(c), 4);
+                }
+                rec.endIteration();
+            }
+            rec.endLoop();
+            rec.endIteration();
+        }
+    }
+    rec.endLoop();
+    return rec.finish("jpeg");
+}
+
+Workload
+jpegd()
+{
+    TraceRecorder rec;
+    const Addr coeffs = rec.allocate(imageW * imageH * 4);
+    const Addr qtab = rec.allocate(64);
+    const Addr image = rec.allocate(imageW * imageH);
+    const Addr workspace = rec.allocate(64 * 4); // per-block int[64]
+
+    // Host-run the encoder to produce the coefficient plane.
+    {
+        Rng rng(0x19e6);
+        std::array<std::array<std::uint8_t, imageW>, imageH> px{};
+        for (unsigned y = 0; y < imageH; ++y)
+            for (unsigned x = 0; x < imageW; ++x)
+                px[y][x] = pixelAt(x, y, rng);
+        for (unsigned by = 0; by < imageH / 8; ++by) {
+            for (unsigned bx = 0; bx < imageW / 8; ++bx) {
+                std::array<std::array<int, 8>, 8> block{};
+                for (unsigned y = 0; y < 8; ++y)
+                    for (unsigned x = 0; x < 8; ++x)
+                        block[y][x] =
+                            px[by * 8 + y][bx * 8 + x] - 128;
+                for (unsigned y = 0; y < 8; ++y)
+                    dct8(block[y]);
+                for (unsigned x = 0; x < 8; ++x) {
+                    std::array<int, 8> col{};
+                    for (unsigned y = 0; y < 8; ++y)
+                        col[y] = block[y][x];
+                    dct8(col);
+                    for (unsigned y = 0; y < 8; ++y)
+                        block[y][x] = col[y];
+                }
+                for (unsigned y = 0; y < 8; ++y)
+                    for (unsigned x = 0; x < 8; ++x) {
+                        const int q = quantTable()[y * 8 + x];
+                        rec.initValue(
+                            coeffs + 4 * ((by * 8 + y) * imageW +
+                                          bx * 8 + x),
+                            static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(block[y][x] /
+                                                          q)),
+                            4);
+                    }
+            }
+        }
+    }
+    for (unsigned i = 0; i < 64; ++i)
+        rec.initValue(qtab + i, quantTable()[i], 1);
+
+    rec.beginLoop();
+    for (unsigned by = 0; by < imageH / 8; ++by) {
+        for (unsigned bx = 0; bx < imageW / 8; ++bx) {
+            std::array<std::array<int, 8>, 8> block{};
+            rec.beginLoop();
+            for (unsigned y = 0; y < 8; ++y) {
+                for (unsigned x = 0; x < 8; ++x) {
+                    const auto c = static_cast<std::int32_t>(rec.load(
+                        coeffs + 4 * ((by * 8 + y) * imageW + bx * 8 +
+                                      x),
+                        4));
+                    const int q = static_cast<int>(
+                        rec.load(qtab + y * 8 + x, 1));
+                    block[y][x] = c * q;
+                    rec.alu(1);
+                }
+                rec.endIteration();
+            }
+            rec.endLoop();
+            for (unsigned x = 0; x < 8; ++x) {
+                std::array<int, 8> col{};
+                for (unsigned y = 0; y < 8; ++y)
+                    col[y] = block[y][x];
+                idct8(col);
+                for (unsigned y = 0; y < 8; ++y)
+                    block[y][x] = col[y];
+            }
+            rec.alu(8 * 12);
+            for (unsigned y = 0; y < 8; ++y)
+                idct8(block[y]);
+            rec.alu(8 * 12);
+            // Spill the IDCT result to the int workspace, then run the
+            // range-limit pass reading it back (djpeg's structure).
+            rec.beginLoop();
+            for (unsigned y = 0; y < 8; ++y) {
+                for (unsigned x = 0; x < 8; ++x)
+                    rec.store(workspace + 4 * (y * 8 + x),
+                              static_cast<std::uint32_t>(
+                                  static_cast<std::int32_t>(block[y][x])),
+                              4);
+                rec.endIteration();
+            }
+            rec.endLoop();
+            rec.beginLoop();
+            for (unsigned y = 0; y < 8; ++y) {
+                for (unsigned x = 0; x < 8; ++x) {
+                    const auto w = static_cast<std::int32_t>(
+                        rec.load(workspace + 4 * (y * 8 + x), 4));
+                    const int v = std::clamp(w / 4 + 128, 0, 255);
+                    rec.alu(2);
+                    rec.store(image + (by * 8 + y) * imageW + bx * 8 + x,
+                              static_cast<std::uint8_t>(v), 1);
+                }
+                rec.endIteration();
+            }
+            rec.endLoop();
+            rec.endIteration();
+        }
+    }
+    rec.endLoop();
+    return rec.finish("jpegd");
+}
+
+Workload
+mpeg2d()
+{
+    TraceRecorder rec;
+    const Addr reference = rec.allocate(imageW * imageH);
+    const Addr residual = rec.allocate(imageW * imageH);
+    const Addr out_frame = rec.allocate(imageW * imageH);
+    const Addr motion = rec.allocate((imageW / 16) * (imageH / 16) * 2);
+
+    Rng rng(0x39e6);
+    for (unsigned y = 0; y < imageH; ++y) {
+        for (unsigned x = 0; x < imageW; ++x) {
+            rec.initValue(reference + y * imageW + x, pixelAt(x, y, rng),
+                          1);
+            // Residuals are near zero almost everywhere.
+            const std::uint8_t r = rng.chance(0.1)
+                                       ? static_cast<std::uint8_t>(
+                                             rng.below(24))
+                                       : 0;
+            rec.initValue(residual + y * imageW + x, r, 1);
+        }
+    }
+    // Small motion vectors per 16x16 macroblock.
+    for (unsigned i = 0; i < (imageW / 16) * (imageH / 16); ++i) {
+        rec.initValue(motion + 2 * i,
+                      static_cast<std::uint8_t>(rng.below(5)), 1);
+        rec.initValue(motion + 2 * i + 1,
+                      static_cast<std::uint8_t>(rng.below(5)), 1);
+    }
+
+    for (unsigned pass = 0; pass < 3; ++pass) {
+    rec.beginLoop();
+    for (unsigned my = 0; my < imageH / 16; ++my) {
+        for (unsigned mx = 0; mx < imageW / 16; ++mx) {
+            const unsigned mb = my * (imageW / 16) + mx;
+            const auto dx = static_cast<unsigned>(
+                rec.load(motion + 2 * mb, 1));
+            const auto dy = static_cast<unsigned>(
+                rec.load(motion + 2 * mb + 1, 1));
+            rec.alu(6); // vector decode + clamp
+            rec.beginLoop();
+            for (unsigned y = 0; y < 16; ++y) {
+                rec.beginLoop();
+                for (unsigned x = 0; x < 16; ++x) {
+                    const unsigned sy =
+                        std::min(my * 16 + y + dy, imageH - 1);
+                    const unsigned sx =
+                        std::min(mx * 16 + x + dx, imageW - 1);
+                    const auto ref = static_cast<int>(rec.load(
+                        reference + sy * imageW + sx, 1));
+                    const auto res = static_cast<int>(rec.load(
+                        residual + (my * 16 + y) * imageW + mx * 16 + x,
+                        1));
+                    const int v = std::clamp(ref + res, 0, 255);
+                    rec.alu(3);
+                    rec.store(out_frame +
+                                  (my * 16 + y) * imageW + mx * 16 + x,
+                              static_cast<std::uint8_t>(v), 1);
+                    rec.endIteration();
+                }
+                rec.endLoop();
+                rec.endIteration();
+            }
+            rec.endLoop();
+            rec.endIteration();
+        }
+    }
+    rec.endLoop();
+    }
+    return rec.finish("mpeg2d");
+}
+
+Workload
+susans()
+{
+    TraceRecorder rec;
+    const Addr input = rec.allocate(imageW * imageH);
+    const Addr output = rec.allocate(imageW * imageH * 4); // int plane
+    const Addr lut = rec.allocate(511 * 4); // brightness-diff LUT (int)
+
+    Rng rng(0x50054);
+    for (unsigned y = 0; y < imageH; ++y)
+        for (unsigned x = 0; x < imageW; ++x)
+            rec.initValue(input + y * imageW + x, pixelAt(x, y, rng), 1);
+    for (int d = -255; d <= 255; ++d) {
+        // exp(-(d/t)^2)-style weight, fixed point <<6.
+        const int t = 27;
+        const int w = std::max(0, 64 - (d * d) / (t * t / 16 + 1));
+        rec.initValue(lut + 4 * static_cast<unsigned>(d + 255),
+                      static_cast<std::uint32_t>(w), 4);
+    }
+
+    rec.beginLoop();
+    for (unsigned y = 1; y + 1 < imageH; ++y) {
+        for (unsigned x = 1; x + 1 < imageW; ++x) {
+            const auto centre = static_cast<int>(
+                rec.load(input + y * imageW + x, 1));
+            int acc = 0;
+            int wsum = 0;
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    if (dx == 0 && dy == 0)
+                        continue;
+                    const auto p = static_cast<int>(rec.load(
+                        input + (y + static_cast<unsigned>(dy)) * imageW +
+                            x + static_cast<unsigned>(dx),
+                        1));
+                    const auto w = static_cast<int>(rec.load(
+                        lut +
+                            4 * static_cast<unsigned>(p - centre + 255),
+                        4));
+                    acc += w * p;
+                    wsum += w;
+                    rec.alu(6);
+                }
+            }
+            const int v = wsum ? acc / wsum : centre;
+            rec.alu(3); // divide + clamp
+            rec.store(output + 4 * (y * imageW + x),
+                      static_cast<std::uint32_t>(std::clamp(v, 0, 255)),
+                      4);
+            rec.endIteration();
+        }
+    }
+    rec.endLoop();
+    return rec.finish("susans");
+}
+
+} // namespace kernels
+} // namespace kagura

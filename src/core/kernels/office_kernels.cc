@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Utility kernels: a glyph-metric typesetter, quicksort, integer math
+ * sweeps (basicmath), and multi-strategy bit counting.
+ */
+
+#include "core/kernels/kernels.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace kagura
+{
+namespace kernels
+{
+
+Workload
+typeset()
+{
+    TraceRecorder rec;
+    constexpr unsigned text_len = 14000;
+    constexpr unsigned line_width = 480; // in font units
+    const Addr metrics = rec.allocate(128 * 8); // {width int, kern int}
+    const Addr text = rec.allocate(text_len);
+    const Addr positions = rec.allocate(text_len * 8); // {x int, line int}
+
+    // Font metrics: proportional widths, small kerning adjustments.
+    for (unsigned c = 0; c < 128; ++c) {
+        const std::uint16_t width =
+            c == ' ' ? 4 : static_cast<std::uint16_t>(5 + (c * 7) % 9);
+        const std::uint16_t kern = static_cast<std::uint16_t>(c % 3);
+        rec.initValue(metrics + 8 * c, width, 4);
+        rec.initValue(metrics + 8 * c + 4, kern, 4);
+    }
+    Rng rng(0x7e9);
+    for (unsigned i = 0; i < text_len; ++i) {
+        std::uint8_t c = rng.chance(0.16)
+                             ? ' '
+                             : 'a' + static_cast<std::uint8_t>(
+                                         rng.below(26));
+        if (rng.chance(0.02))
+            c = 'A' + static_cast<std::uint8_t>(rng.below(26));
+        rec.initValue(text + i, c, 1);
+    }
+
+    unsigned x = 0;
+    unsigned line = 0;
+    unsigned word_start = 0;
+    unsigned word_width = 0;
+    rec.beginLoop();
+    for (unsigned i = 0; i < text_len; ++i) {
+        const auto c = static_cast<std::uint8_t>(rec.load(text + i, 1));
+        const auto width = static_cast<unsigned>(
+            rec.load(metrics + 8 * (c & 0x7f), 4));
+        const auto kern = static_cast<unsigned>(
+            rec.load(metrics + 8 * (c & 0x7f) + 4, 4));
+        rec.alu(8); // width accumulation, break decision
+        if (c == ' ') {
+            // Commit the word: emit glyph positions.
+            if (x + word_width > line_width) {
+                ++line;
+                x = 0;
+            }
+            for (unsigned g = word_start; g < i; ++g) {
+                rec.store(positions + 8 * g,
+                          static_cast<std::uint32_t>(x), 4);
+                rec.store(positions + 8 * g + 4,
+                          static_cast<std::uint32_t>(line), 4);
+                rec.alu(3);
+                x += 7; // committed advance (approximation)
+            }
+            x += 4; // space width
+            word_start = i + 1;
+            word_width = 0;
+        } else {
+            word_width += width - kern;
+        }
+        rec.endIteration();
+    }
+    rec.endLoop();
+    return rec.finish("typeset");
+}
+
+Workload
+qsort()
+{
+    TraceRecorder rec;
+    constexpr unsigned n = 2600;
+    const Addr array = rec.allocate(n * 4);
+
+    Rng rng(0x45047);
+    std::vector<std::uint32_t> host(n);
+    for (unsigned i = 0; i < n; ++i) {
+        // Sensor-reading-like values: bounded magnitudes, so the array
+        // compresses moderately.
+        host[i] = static_cast<std::uint32_t>(rng.below(30000));
+        rec.initValue(array + 4 * i, host[i], 4);
+    }
+
+    // Iterative quicksort with an explicit stack (recorded as register
+    // work); loads/stores go through the recorder so the simulated
+    // cache sees the real partition traffic.
+    struct Range
+    {
+        unsigned lo, hi;
+    };
+    std::vector<Range> stack = {{0, n - 1}};
+
+    rec.beginLoop();
+    while (!stack.empty()) {
+        const Range r = stack.back();
+        stack.pop_back();
+        if (r.lo >= r.hi) {
+            rec.alu(2);
+            rec.endIteration();
+            continue;
+        }
+        const std::uint32_t pivot = static_cast<std::uint32_t>(
+            rec.load(array + 4ULL * ((r.lo + r.hi) / 2), 4));
+        unsigned i = r.lo;
+        unsigned j = r.hi;
+        while (i <= j) {
+            rec.beginLoop();
+            while (true) {
+                const auto v = static_cast<std::uint32_t>(
+                    rec.load(array + 4ULL * i, 4));
+                rec.alu(2);
+                rec.endIteration();
+                if (v >= pivot)
+                    break;
+                ++i;
+            }
+            rec.endLoop();
+            rec.beginLoop();
+            while (true) {
+                const auto v = static_cast<std::uint32_t>(
+                    rec.load(array + 4ULL * j, 4));
+                rec.alu(2);
+                rec.endIteration();
+                if (v <= pivot)
+                    break;
+                --j;
+            }
+            rec.endLoop();
+            if (i <= j) {
+                const auto vi = static_cast<std::uint32_t>(
+                    rec.peek(array + 4ULL * i, 4));
+                const auto vj = static_cast<std::uint32_t>(
+                    rec.peek(array + 4ULL * j, 4));
+                rec.store(array + 4ULL * i, vj, 4);
+                rec.store(array + 4ULL * j, vi, 4);
+                rec.alu(3);
+                ++i;
+                if (j > 0)
+                    --j;
+                else
+                    break;
+            }
+        }
+        if (r.lo < j)
+            stack.push_back({r.lo, j});
+        if (i < r.hi)
+            stack.push_back({i, r.hi});
+        rec.alu(6);
+        rec.endIteration();
+    }
+    rec.endLoop();
+    return rec.finish("qsort");
+}
+
+Workload
+basicmath()
+{
+    TraceRecorder rec;
+    constexpr unsigned n = 1300;
+    const Addr inputs = rec.allocate(n * 4);
+    const Addr outputs = rec.allocate(n * 4);
+
+    Rng rng(0xba51c);
+    for (unsigned i = 0; i < n; ++i)
+        rec.initValue(inputs + 4 * i,
+                      static_cast<std::uint32_t>(1 + rng.below(1u << 26)),
+                      4);
+
+    rec.beginLoop();
+    for (unsigned i = 0; i < n; ++i) {
+        const auto v = static_cast<std::uint32_t>(
+            rec.load(inputs + 4 * i, 4));
+        // Integer square root by binary search (16 iterations), then a
+        // cubic polynomial evaluation -- register-resident math.
+        std::uint32_t root = 0;
+        for (int b = 15; b >= 0; --b) {
+            const std::uint32_t trial = root | (1u << b);
+            if (static_cast<std::uint64_t>(trial) * trial <= v)
+                root = trial;
+        }
+        rec.alu(16 * 5);
+        const std::uint32_t poly =
+            ((root * 3 + 7) * root + 11) * root + 5;
+        rec.alu(6);
+        rec.store(outputs + 4 * i, poly ^ v, 4);
+        rec.endIteration();
+    }
+    rec.endLoop();
+    return rec.finish("basicmath");
+}
+
+Workload
+bitcount()
+{
+    TraceRecorder rec;
+    constexpr unsigned n = 8000;
+    const Addr words = rec.allocate(n * 4);
+    const Addr nibbleLut = rec.allocate(16);
+    const Addr result = rec.allocate(4);
+
+    Rng rng(0xb17c);
+    for (unsigned i = 0; i < n; ++i) {
+        // Bitmap-like data: runs of zeros and dense patches.
+        const std::uint32_t w =
+            rng.chance(0.4) ? 0u : static_cast<std::uint32_t>(rng.next());
+        rec.initValue(words + 4 * i, w, 4);
+    }
+    for (unsigned i = 0; i < 16; ++i)
+        rec.initValue(nibbleLut + i,
+                      static_cast<std::uint8_t>(__builtin_popcount(i)), 1);
+
+    std::uint64_t total = 0;
+    rec.beginLoop();
+    for (unsigned i = 0; i < n; ++i) {
+        const auto w = static_cast<std::uint32_t>(
+            rec.load(words + 4 * i, 4));
+        // Strategy 1: shift-and-mask tree.
+        total += __builtin_popcount(w);
+        rec.alu(12);
+        // Strategy 2: nibble LUT (two recorded table reads model the
+        // unrolled sequence's cache behaviour).
+        rec.load(nibbleLut + (w & 0xf), 1);
+        rec.load(nibbleLut + ((w >> 16) & 0xf), 1);
+        rec.alu(10);
+        rec.endIteration();
+    }
+    rec.endLoop();
+    rec.store(result, static_cast<std::uint32_t>(total), 4);
+    return rec.finish("bitcount");
+}
+
+} // namespace kernels
+} // namespace kagura

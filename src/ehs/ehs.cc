@@ -1,0 +1,39 @@
+#include "ehs/ehs.hh"
+
+#include "common/logging.hh"
+#include "ehs/nvmr.hh"
+#include "ehs/nvsram.hh"
+#include "ehs/sweepcache.hh"
+
+namespace kagura
+{
+
+const char *
+ehsKindName(EhsKind kind)
+{
+    switch (kind) {
+      case EhsKind::NvsramCache:
+        return "NVSRAMCache";
+      case EhsKind::NvMR:
+        return "NvMR";
+      case EhsKind::SweepCache:
+        return "SweepCache";
+    }
+    panic("unknown EhsKind %d", static_cast<int>(kind));
+}
+
+std::unique_ptr<EhsDesign>
+makeEhs(EhsKind kind)
+{
+    switch (kind) {
+      case EhsKind::NvsramCache:
+        return std::make_unique<NvsramEhs>();
+      case EhsKind::NvMR:
+        return std::make_unique<NvmrEhs>();
+      case EhsKind::SweepCache:
+        return std::make_unique<SweepEhs>();
+    }
+    panic("unknown EhsKind %d", static_cast<int>(kind));
+}
+
+} // namespace kagura

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * EHS design abstraction: how a platform persists state across power
+ * failures. Three designs from the paper's Section VIII-H1:
+ *
+ *  - NVSRAMCache [63]: JIT checkpointing -- on the voltage monitor's
+ *    trip, dirty cache blocks are flushed to NVM and the register file
+ *    and store buffer are saved to NVFFs; the cache reboots empty.
+ *  - NvMR [24]: store-through renaming -- every store persists to NVM
+ *    through a map table (with a small map-table cache and a merge
+ *    buffer), so power failure needs no cache flush.
+ *  - SweepCache [184]: region-based -- dirty blocks are swept to NVM
+ *    through a persist buffer at region boundaries; a power failure
+ *    rolls execution back to the last boundary and re-executes.
+ *
+ * The simulator drives these hooks; every cost is returned as cycles +
+ * picojoules so the capacitor can be metered uniformly.
+ */
+
+#ifndef KAGURA_EHS_EHS_HH
+#define KAGURA_EHS_EHS_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/cache.hh"
+#include "common/types.hh"
+#include "energy/energy_model.hh"
+
+namespace kagura
+{
+
+/** Which EHS design is in force (Fig. 19). */
+enum class EhsKind
+{
+    NvsramCache, ///< default baseline
+    NvMR,
+    SweepCache,
+};
+
+/** Human-readable design name. */
+const char *ehsKindName(EhsKind kind);
+
+/** Cost of one EHS action. */
+struct EhsCost
+{
+    Cycles cycles = 0;
+    PicoJoules energy = 0;
+    unsigned nvmBlockWrites = 0;
+    unsigned decompressions = 0;
+};
+
+/** Context handed to every hook. */
+struct EhsContext
+{
+    Cache &icache;
+    Cache &dcache;
+    const EnergyModel &energy;
+    const NvmParams &nvm;
+    /** Compression costs of the active algorithm (nullptr if none). */
+    const CompressionCosts *compression;
+    /** 32-bit words of core + controller state saved at checkpoints. */
+    unsigned regWords;
+};
+
+/** Abstract EHS persistence design. */
+class EhsDesign
+{
+  public:
+    virtual ~EhsDesign() = default;
+
+    /** Design identity. */
+    virtual EhsKind kind() const = 0;
+
+    /** Design name for reports. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Does the design already pay for a JIT voltage monitor? Designs
+     * without one incur the extended-monitor overhead when Kagura's
+     * voltage trigger is selected (Section VIII-H2).
+     */
+    virtual bool hasVoltageMonitor() const = 0;
+
+    /** A store committed to @p addr; returns the persistence cost. */
+    virtual EhsCost
+    onStore(Addr addr, EhsContext &ctx)
+    {
+        (void)addr;
+        (void)ctx;
+        return {};
+    }
+
+    /**
+     * @p count instructions committed (called once per micro-op
+     * group); region-based designs sweep here. @p op_index is the
+     * workload cursor *after* the group.
+     */
+    virtual EhsCost
+    onInstructionCommit(std::uint64_t count, std::uint64_t op_index,
+                        EhsContext &ctx)
+    {
+        (void)count;
+        (void)op_index;
+        (void)ctx;
+        return {};
+    }
+
+    /** Power failure: persist whatever must survive. */
+    virtual EhsCost onPowerFailure(EhsContext &ctx) = 0;
+
+    /** Reboot: restore state; returns the cost. */
+    virtual EhsCost onReboot(EhsContext &ctx) = 0;
+
+    /**
+     * Where execution resumes after a reboot: @p failure_index for
+     * JIT designs, the last region boundary for SweepCache.
+     */
+    virtual std::uint64_t
+    resumeIndex(std::uint64_t failure_index) const
+    {
+        return failure_index;
+    }
+};
+
+/** Build a design instance. */
+std::unique_ptr<EhsDesign> makeEhs(EhsKind kind);
+
+} // namespace kagura
+
+#endif // KAGURA_EHS_EHS_HH

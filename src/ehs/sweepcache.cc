@@ -1,0 +1,76 @@
+#include "ehs/sweepcache.hh"
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+
+SweepEhs::SweepEhs(std::uint64_t region_instructions)
+    : regionSize(region_instructions)
+{
+    if (regionSize == 0)
+        fatal("SweepCache region size must be nonzero");
+}
+
+EhsCost
+SweepEhs::onInstructionCommit(std::uint64_t count, std::uint64_t op_index,
+                              EhsContext &ctx)
+{
+    EhsCost cost;
+    sinceBoundary += count;
+    if (sinceBoundary < regionSize)
+        return cost;
+
+    // Region boundary: checkpoint registers, then sweep dirty blocks
+    // through the persist buffer (its 32 entries pipeline the writes,
+    // hiding roughly half of each write's latency).
+    sinceBoundary = 0;
+    boundaryIndex = op_index;
+    ++sweepCount;
+
+    const FlushOutcome sweep = ctx.dcache.cleanAll();
+    cost.nvmBlockWrites = sweep.nvmBlockWrites;
+    cost.decompressions = sweep.decompressions;
+    cost.energy += sweep.nvmBlockWrites * ctx.nvm.writeEnergy;
+    cost.cycles += sweep.nvmBlockWrites * (ctx.nvm.writeLatency / 2);
+    if (ctx.compression && sweep.decompressions > 0) {
+        cost.energy +=
+            sweep.decompressions * ctx.compression->decompressEnergy;
+        cost.cycles +=
+            sweep.decompressions * ctx.compression->decompressLatency;
+    }
+
+    cost.energy += ctx.regWords * ctx.energy.nvffWrite;
+    cost.cycles += ctx.regWords;
+    return cost;
+}
+
+EhsCost
+SweepEhs::onPowerFailure(EhsContext &ctx)
+{
+    // Everything since the boundary is simply lost; the caches drop.
+    ctx.icache.invalidateAll();
+    ctx.dcache.invalidateAll();
+    return {};
+}
+
+EhsCost
+SweepEhs::onReboot(EhsContext &ctx)
+{
+    EhsCost cost;
+    cost.energy += ctx.regWords * ctx.energy.nvffRead;
+    cost.energy += ctx.energy.rebootEnergy;
+    cost.cycles += ctx.energy.rebootLatency;
+    // Execution resumes at the boundary; the re-executed instructions
+    // themselves are the recovery cost (metered by the simulator).
+    return cost;
+}
+
+std::uint64_t
+SweepEhs::resumeIndex(std::uint64_t failure_index) const
+{
+    (void)failure_index;
+    return boundaryIndex;
+}
+
+} // namespace kagura

@@ -1,0 +1,67 @@
+#include "energy/capacitor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+
+Capacitor::Capacitor(const CapacitorConfig &config) : cfg(config)
+{
+    if (cfg.capacitance <= 0.0)
+        fatal("capacitance must be positive (got %g F)", cfg.capacitance);
+    if (!(cfg.vMax >= cfg.vRestore && cfg.vRestore > cfg.vCheckpoint &&
+          cfg.vCheckpoint > cfg.vShutdown && cfg.vShutdown >= 0.0)) {
+        fatal("capacitor thresholds must satisfy "
+              "vMax >= vRestore > vCheckpoint > vShutdown >= 0 "
+              "(got %g/%g/%g/%g)",
+              cfg.vMax, cfg.vRestore, cfg.vCheckpoint, cfg.vShutdown);
+    }
+    energyJ = 0.5 * cfg.capacitance * cfg.vRestore * cfg.vRestore;
+}
+
+double
+Capacitor::voltage() const
+{
+    return std::sqrt(2.0 * energyJ / cfg.capacitance);
+}
+
+void
+Capacitor::charge(double joules)
+{
+    kagura_assert(joules >= 0.0);
+    const double cap = 0.5 * cfg.capacitance * cfg.vMax * cfg.vMax;
+    energyJ = std::min(energyJ + joules, cap);
+}
+
+void
+Capacitor::discharge(double joules)
+{
+    kagura_assert(joules >= 0.0);
+    energyJ = std::max(energyJ - joules, 0.0);
+}
+
+Watts
+Capacitor::leakagePower() const
+{
+    // Leakage scales with both capacitance and charge level; a simple
+    // I = k C V model captures the Table III capacity trend.
+    return cfg.leakagePerFarad * cfg.capacitance * voltage() / cfg.vMax;
+}
+
+void
+Capacitor::setVoltage(double volts)
+{
+    kagura_assert(volts >= 0.0 && volts <= cfg.vMax + 1e-9);
+    energyJ = 0.5 * cfg.capacitance * volts * volts;
+}
+
+double
+Capacitor::bandEnergy(double v_hi, double v_lo) const
+{
+    return 0.5 * cfg.capacitance * (v_hi * v_hi - v_lo * v_lo);
+}
+
+} // namespace kagura

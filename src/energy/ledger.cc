@@ -1,0 +1,30 @@
+#include "energy/ledger.hh"
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+
+const char *
+energyCategoryName(EnergyCategory cat)
+{
+    switch (cat) {
+      case EnergyCategory::Compress:
+        return "Compress";
+      case EnergyCategory::Decompress:
+        return "Decompress";
+      case EnergyCategory::CacheOther:
+        return "Cache(other)";
+      case EnergyCategory::Memory:
+        return "Memory";
+      case EnergyCategory::Checkpoint:
+        return "Ckpt/Restore";
+      case EnergyCategory::Others:
+        return "Others";
+      case EnergyCategory::NumCategories:
+        break;
+    }
+    panic("unknown EnergyCategory %d", static_cast<int>(cat));
+}
+
+} // namespace kagura

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Energy ledger: attributes every picojoule the platform draws to one of
+ * the six categories the paper's Fig. 16 breakdown uses, so the bench
+ * harness can print the same stacked bars.
+ */
+
+#ifndef KAGURA_ENERGY_LEDGER_HH
+#define KAGURA_ENERGY_LEDGER_HH
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.hh"
+
+namespace kagura
+{
+
+/** Fig. 16 energy categories. */
+enum class EnergyCategory : std::size_t
+{
+    Compress,    ///< block compression work
+    Decompress,  ///< block decompression work
+    CacheOther,  ///< cache accesses, tag checks, cache leakage
+    Memory,      ///< NVM reads/writes and NVM standby
+    Checkpoint,  ///< JIT checkpoint + restoration (incl. NVFF traffic)
+    Others,      ///< core pipeline, voltage monitor, buffer leakage
+    NumCategories,
+};
+
+/** Short label for a category (Fig. 16 legend). */
+const char *energyCategoryName(EnergyCategory cat);
+
+/** Accumulates energy per category. */
+class EnergyLedger
+{
+  public:
+    static constexpr std::size_t numCategories =
+        static_cast<std::size_t>(EnergyCategory::NumCategories);
+
+    /** Record @p pj picojoules drawn for @p cat. */
+    void
+    add(EnergyCategory cat, PicoJoules pj)
+    {
+        buckets[static_cast<std::size_t>(cat)] += pj;
+    }
+
+    /** Energy attributed to @p cat so far. */
+    PicoJoules
+    total(EnergyCategory cat) const
+    {
+        return buckets[static_cast<std::size_t>(cat)];
+    }
+
+    /** Sum over all categories. */
+    PicoJoules
+    grandTotal() const
+    {
+        PicoJoules sum = 0.0;
+        for (PicoJoules b : buckets)
+            sum += b;
+        return sum;
+    }
+
+    /** Zero every bucket. */
+    void reset() { buckets.fill(0.0); }
+
+  private:
+    std::array<PicoJoules, numCategories> buckets{};
+};
+
+} // namespace kagura
+
+#endif // KAGURA_ENERGY_LEDGER_HH

@@ -1,0 +1,37 @@
+#include "mem/nvm.hh"
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+
+Nvm::Nvm(NvmType type, std::uint64_t bytes)
+    : tech(type), timing(nvmParams(type, bytes)), storage(bytes, 0)
+{
+    if (bytes == 0)
+        fatal("NVM capacity must be nonzero");
+}
+
+void
+Nvm::readBytes(Addr addr, std::uint8_t *dst, std::size_t count) const
+{
+    for (std::size_t i = 0; i < count; ++i)
+        dst[i] = storage[index(addr + i)];
+}
+
+void
+Nvm::writeBytes(Addr addr, const std::uint8_t *src, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        storage[index(addr + i)] = src[i];
+}
+
+std::vector<std::uint8_t>
+Nvm::readBlock(Addr addr, std::size_t block_size) const
+{
+    std::vector<std::uint8_t> block(block_size);
+    readBytes(addr, block.data(), block_size);
+    return block;
+}
+
+} // namespace kagura

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Nonvolatile main memory: a functional byte store plus the timing and
+ * energy parameters of the selected technology (Table I's ReRAM row by
+ * default; PCM and STT-RAM for the Fig. 28 sweep).
+ *
+ * Contents survive power failures by construction -- the object simply
+ * persists across the simulator's power state machine, exactly like the
+ * physical array would.
+ */
+
+#ifndef KAGURA_MEM_NVM_HH
+#define KAGURA_MEM_NVM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "energy/energy_model.hh"
+
+namespace kagura
+{
+
+/** Nonvolatile main memory model. */
+class Nvm
+{
+  public:
+    /**
+     * @param type Technology (ReRAM / PCM / STT-RAM).
+     * @param bytes Capacity; addresses are taken modulo this size.
+     */
+    Nvm(NvmType type, std::uint64_t bytes);
+
+    /** Technology of this array. */
+    NvmType type() const { return tech; }
+
+    /** Capacity in bytes. */
+    std::uint64_t size() const { return storage.size(); }
+
+    /** Timing/energy parameters for this array. */
+    const NvmParams &params() const { return timing; }
+
+    /** Copy @p count bytes starting at @p addr into @p dst. */
+    void readBytes(Addr addr, std::uint8_t *dst, std::size_t count) const;
+
+    /** Copy @p count bytes from @p src into the array at @p addr. */
+    void writeBytes(Addr addr, const std::uint8_t *src, std::size_t count);
+
+    /** Read a whole block of @p block_size bytes at @p addr. */
+    std::vector<std::uint8_t> readBlock(Addr addr,
+                                        std::size_t block_size) const;
+
+    /** Number of block reads served (functional statistic). */
+    std::uint64_t blockReads() const { return reads; }
+
+    /** Number of block writes served (functional statistic). */
+    std::uint64_t blockWrites() const { return writes; }
+
+    /** Account one block read (called by the cache on fills). */
+    void noteBlockRead() { ++reads; }
+
+    /** Account one block write (called by the cache on writebacks). */
+    void noteBlockWrite() { ++writes; }
+
+  private:
+    /** Wrap an address into the array. */
+    std::size_t index(Addr addr) const { return addr % storage.size(); }
+
+    NvmType tech;
+    NvmParams timing;
+    std::vector<std::uint8_t> storage;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+} // namespace kagura
+
+#endif // KAGURA_MEM_NVM_HH

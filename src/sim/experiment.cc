@@ -1,0 +1,175 @@
+#include "sim/experiment.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace kagura
+{
+
+unsigned suiteRepeats = 5;
+
+std::uint64_t
+suiteSeed(unsigned index)
+{
+    return mixSeeds(0x6b616775, index * 7919 + 1);
+}
+
+const AppResult &
+SuiteResult::forApp(const std::string &app) const
+{
+    for (const AppResult &entry : apps) {
+        if (entry.app == app)
+            return entry;
+    }
+    fatal("suite '%s' has no result for app '%s'", label.c_str(),
+          app.c_str());
+}
+
+SimConfig
+baselineConfig(const std::string &workload)
+{
+    SimConfig cfg;
+    cfg.workload = workload;
+    return cfg;
+}
+
+SimConfig
+accConfig(const std::string &workload)
+{
+    SimConfig cfg = baselineConfig(workload);
+    cfg.governor = GovernorKind::Acc;
+    cfg.compressor = CompressorKind::Bdi;
+    return cfg;
+}
+
+SimConfig
+accKaguraConfig(const std::string &workload)
+{
+    SimConfig cfg = accConfig(workload);
+    cfg.enableKagura = true;
+    return cfg;
+}
+
+SuiteResult
+runSuite(const std::string &label,
+         const std::function<SimConfig(const std::string &)> &make,
+         const std::vector<std::string> &apps)
+{
+    SuiteResult suite;
+    suite.label = label;
+    for (const std::string &app : apps) {
+        AppResult entry;
+        entry.app = app;
+        for (unsigned rep = 0; rep < suiteRepeats; ++rep) {
+            SimConfig cfg = make(app);
+            cfg.traceSeed = suiteSeed(rep);
+            if (cfg.oracle == OracleMode::Off) {
+                Simulator sim(cfg);
+                entry.runs.push_back(sim.run());
+            } else {
+                // Oracle configs route through the two-phase runner;
+                // OracleMode::Record marks "intermittence-aware" and
+                // Replay marks the infinite-energy phase-1 variant.
+                const bool aware = cfg.oracle == OracleMode::Record;
+                SimConfig base = cfg;
+                base.oracle = OracleMode::Off;
+                base.oracleLog = nullptr;
+                entry.runs.push_back(runIdealOnce(base, aware));
+            }
+        }
+        suite.apps.push_back(std::move(entry));
+    }
+    return suite;
+}
+
+SimResult
+runIdealOnce(SimConfig base, bool intermittence_aware)
+{
+    // Phase 1: record per-block compression outcomes.
+    SimConfig record = base;
+    record.oracle = OracleMode::Record;
+    record.infiniteEnergy = !intermittence_aware;
+    Simulator phase1(record);
+    const SimResult recorded = phase1.run();
+
+    // Phase 2: replay with the log vetoing useless compressions.
+    SimConfig replay = base;
+    replay.oracle = OracleMode::Replay;
+    replay.oracleLog = &recorded.oracle;
+    Simulator phase2(replay);
+    return phase2.run();
+}
+
+std::vector<SimResult>
+runIdeal(SimConfig base, bool intermittence_aware)
+{
+    std::vector<SimResult> out;
+    for (unsigned rep = 0; rep < suiteRepeats; ++rep) {
+        SimConfig cfg = base;
+        cfg.traceSeed = suiteSeed(rep);
+        out.push_back(runIdealOnce(cfg, intermittence_aware));
+    }
+    return out;
+}
+
+double
+speedupPct(const SimResult &config, const SimResult &baseline)
+{
+    kagura_assert(config.wallCycles > 0);
+    return (static_cast<double>(baseline.wallCycles) /
+                static_cast<double>(config.wallCycles) -
+            1.0) *
+           100.0;
+}
+
+double
+energyDeltaPct(const SimResult &config, const SimResult &baseline)
+{
+    const double base = baseline.ledger.grandTotal();
+    kagura_assert(base > 0.0);
+    return (config.ledger.grandTotal() / base - 1.0) * 100.0;
+}
+
+double
+speedupPct(const AppResult &config, const AppResult &baseline)
+{
+    kagura_assert(!config.runs.empty());
+    kagura_assert(config.runs.size() == baseline.runs.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < config.runs.size(); ++i)
+        sum += speedupPct(config.runs[i], baseline.runs[i]);
+    return sum / static_cast<double>(config.runs.size());
+}
+
+double
+energyDeltaPct(const AppResult &config, const AppResult &baseline)
+{
+    kagura_assert(!config.runs.empty());
+    kagura_assert(config.runs.size() == baseline.runs.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < config.runs.size(); ++i)
+        sum += energyDeltaPct(config.runs[i], baseline.runs[i]);
+    return sum / static_cast<double>(config.runs.size());
+}
+
+double
+meanSpeedupPct(const SuiteResult &config, const SuiteResult &baseline)
+{
+    kagura_assert(!config.apps.empty());
+    double sum = 0.0;
+    for (const AppResult &entry : config.apps)
+        sum += speedupPct(entry, baseline.forApp(entry.app));
+    return sum / static_cast<double>(config.apps.size());
+}
+
+double
+meanEnergyDeltaPct(const SuiteResult &config, const SuiteResult &baseline)
+{
+    kagura_assert(!config.apps.empty());
+    double sum = 0.0;
+    for (const AppResult &entry : config.apps)
+        sum += energyDeltaPct(entry, baseline.forApp(entry.app));
+    return sum / static_cast<double>(config.apps.size());
+}
+
+} // namespace kagura

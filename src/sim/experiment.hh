@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Experiment runner: sweeps a configuration across the 20-application
+ * suite, computes speedups against a baseline, and provides the
+ * two-phase ideal-oracle methodology of Section VIII-C. This is the
+ * layer every bench binary sits on.
+ *
+ * Runs are repeated over several ambient-trace seeds and the metrics
+ * averaged pairwise (same seed in numerator and denominator): with a
+ * bursty RF source, where the *last* recharge lands in the trace can
+ * swing a single short run's wall time by several percent, and the
+ * paired multi-seed mean removes exactly that alignment noise. The
+ * paper's billion-instruction gem5 runs average it implicitly.
+ */
+
+#ifndef KAGURA_SIM_EXPERIMENT_HH
+#define KAGURA_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace kagura
+{
+
+/** Per-application outcome of one configuration: one run per seed. */
+struct AppResult
+{
+    std::string app;
+    std::vector<SimResult> runs;
+
+    /** The first run (representative for counters/stat inspection). */
+    const SimResult &primary() const { return runs.front(); }
+};
+
+/** A configuration evaluated over the whole suite. */
+struct SuiteResult
+{
+    std::string label;
+    std::vector<AppResult> apps;
+
+    /** Find an app's results (fatal if missing). */
+    const AppResult &forApp(const std::string &app) const;
+};
+
+/** Number of trace seeds each configuration is averaged over. */
+extern unsigned suiteRepeats;
+
+/** The i-th trace seed used by the suite runner. */
+std::uint64_t suiteSeed(unsigned index);
+
+/** Canonical baseline config: Table I, no compression. */
+SimConfig baselineConfig(const std::string &workload);
+
+/** Baseline + ACC-governed compression (BDI by default). */
+SimConfig accConfig(const std::string &workload);
+
+/** Baseline + ACC + Kagura at the default design point. */
+SimConfig accKaguraConfig(const std::string &workload);
+
+/**
+ * Run @p make(app) for every app in @p apps (default: the full
+ * 20-application suite), once per trace seed, and collect the results.
+ */
+SuiteResult
+runSuite(const std::string &label,
+         const std::function<SimConfig(const std::string &)> &make,
+         const std::vector<std::string> &apps = workloadNames());
+
+/**
+ * Ideal-oracle runs for one app config (two-phase, once per seed):
+ * phase 1 executes @p base with recording; phase 2 replays against
+ * the log. When @p intermittence_aware is false, phase 1 runs with
+ * infinite energy (the oracle knows reuse but not outages -- "ideal
+ * ACC"); when true, phase 1 sees the same power trace ("ideal
+ * Kagura").
+ */
+std::vector<SimResult> runIdeal(SimConfig base, bool intermittence_aware);
+
+/** One ideal-oracle two-phase run (uses @p base's trace seed). */
+SimResult runIdealOnce(SimConfig base, bool intermittence_aware);
+
+/**
+ * Suite-runner convention for ideal configs: a config returned by the
+ * make() callback with oracle == OracleMode::Record is executed as an
+ * intermittence-aware ideal (phase 1 under the real trace); with
+ * oracle == OracleMode::Replay as the intermittence-unaware ideal
+ * (phase 1 under infinite energy). OracleMode::Off runs normally.
+ */
+
+/** Speedup of one run over one baseline run: wall ratio - 1, in %. */
+double speedupPct(const SimResult &config, const SimResult &baseline);
+
+/** Total-energy change of one run vs a baseline run, in %. */
+double energyDeltaPct(const SimResult &config, const SimResult &baseline);
+
+/** Seed-paired mean speedup for one app, in %. */
+double speedupPct(const AppResult &config, const AppResult &baseline);
+
+/** Seed-paired mean energy delta for one app, in %. */
+double energyDeltaPct(const AppResult &config, const AppResult &baseline);
+
+/** Arithmetic mean of per-app speedups between two suites, in %. */
+double meanSpeedupPct(const SuiteResult &config,
+                      const SuiteResult &baseline);
+
+/** Arithmetic mean of per-app energy deltas between two suites, in %. */
+double meanEnergyDeltaPct(const SuiteResult &config,
+                          const SuiteResult &baseline);
+
+} // namespace kagura
+
+#endif // KAGURA_SIM_EXPERIMENT_HH

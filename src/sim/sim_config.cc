@@ -1,0 +1,48 @@
+#include "sim/sim_config.hh"
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+
+const char *
+governorKindName(GovernorKind kind)
+{
+    switch (kind) {
+      case GovernorKind::None:
+        return "none";
+      case GovernorKind::Always:
+        return "always";
+      case GovernorKind::Acc:
+        return "ACC";
+    }
+    panic("unknown GovernorKind %d", static_cast<int>(kind));
+}
+
+std::string
+SimConfig::describe() const
+{
+    std::string out = workload;
+    out += " / ";
+    out += ehsKindName(ehs);
+    if (governor == GovernorKind::None) {
+        out += " / no-compression";
+    } else {
+        out += " / ";
+        out += compressorKindName(compressor);
+        out += "+";
+        out += governorKindName(governor);
+        if (enableKagura) {
+            out += "+Kagura(";
+            out += triggerKindName(kagura.trigger);
+            out += ")";
+        }
+    }
+    if (enableDecay)
+        out += " +EDBP";
+    if (enablePrefetch)
+        out += " +IPEX";
+    return out;
+}
+
+} // namespace kagura

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Top-level simulation configuration: one struct selecting the
+ * workload, the platform (caches, NVM, capacitor, trace, EHS design)
+ * and the compression stack (algorithm, governor, Kagura, oracle).
+ * Defaults reproduce the Table I configuration.
+ */
+
+#ifndef KAGURA_SIM_SIM_CONFIG_HH
+#define KAGURA_SIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache.hh"
+#include "cache/decay.hh"
+#include "energy/capacitor.hh"
+#include "energy/energy_model.hh"
+#include "energy/power_trace.hh"
+#include "ehs/ehs.hh"
+#include "kagura/kagura.hh"
+#include "kagura/oracle.hh"
+
+namespace kagura
+{
+
+/** Which compression policy drives the caches. */
+enum class GovernorKind
+{
+    None,   ///< no compressor at all (the paper's baseline)
+    Always, ///< compress unconditionally (plain BDI/FPC/...)
+    Acc,    ///< adaptive compression via the GCP [10]
+};
+
+/** Human-readable governor name. */
+const char *governorKindName(GovernorKind kind);
+
+/** How the ideal-oracle two-phase methodology is engaged. */
+enum class OracleMode
+{
+    Off,
+    Record, ///< phase 1: tally per-block compression outcomes
+    Replay, ///< phase 2: veto compressions the log deems useless
+};
+
+/** Everything one simulation run needs. */
+struct SimConfig
+{
+    /** Application name (see workloadNames()). */
+    std::string workload = "crc32";
+
+    CacheConfig icache{};
+    CacheConfig dcache{};
+
+    GovernorKind governor = GovernorKind::None;
+    CompressorKind compressor = CompressorKind::Bdi;
+
+    /** Wrap the governor in Kagura's mode controller. */
+    bool enableKagura = false;
+    KaguraConfig kagura{};
+
+    EhsKind ehs = EhsKind::NvsramCache;
+
+    NvmType nvmType = NvmType::ReRam;
+    std::uint64_t nvmBytes = 16ULL * 1024 * 1024;
+
+    CapacitorConfig capacitor{};
+    EnergyModel energy{};
+
+    TraceKind trace = TraceKind::RfHome;
+    std::uint64_t traceSeed = 0x6b616775;
+    double traceScale = 1.0;
+    std::uint64_t traceIntervals = 200000;
+
+    /** EDBP dead-block prediction (Fig. 20). */
+    bool enableDecay = false;
+    DecayConfig decay{};
+
+    /** IPEX intermittence-aware prefetching (Fig. 20). */
+    bool enablePrefetch = false;
+
+    /** Disable the power subsystem entirely (tests; ideal phase 1). */
+    bool infiniteEnergy = false;
+
+    /**
+     * Section VII-A: atomic peripheral/I/O regions. When
+     * ioRegionInterval > 0, every that-many committed instructions the
+     * program enters an atomic region of ioRegionLength instructions:
+     * an extra checkpoint (registers + dirty blocks) is taken at the
+     * region entry, JIT checkpointing is disabled inside, and a power
+     * failure inside rolls back to the region start and re-executes.
+     */
+    std::uint64_t ioRegionInterval = 0;
+
+    /** Length of each atomic region in committed instructions. */
+    std::uint64_t ioRegionLength = 200;
+
+    OracleMode oracle = OracleMode::Off;
+    /** Phase-1 log for OracleMode::Replay (owned by the caller). */
+    const OracleLog *oracleLog = nullptr;
+
+    /** One-line description for reports. */
+    std::string describe() const;
+};
+
+} // namespace kagura
+
+#endif // KAGURA_SIM_SIM_CONFIG_HH

@@ -1,0 +1,418 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+#include "compress/compressor.hh"
+#include "core/workload.hh"
+
+namespace kagura
+{
+
+Simulator::Simulator(const SimConfig &config)
+    : cfg(config), cap(config.capacitor)
+{
+    mem = std::make_unique<Nvm>(cfg.nvmType, cfg.nvmBytes);
+
+    // Compression stack: algorithm + governor chain.
+    if (cfg.governor != GovernorKind::None)
+        comp = makeCompressor(cfg.compressor);
+
+    if (cfg.enableKagura) {
+        if (cfg.governor == GovernorKind::None)
+            fatal("Kagura requires a compression governor to wrap");
+        // Kagura's core-level registers; the per-cache gates consult
+        // its mode and feed its R_evict counter.
+        kaguraCtl = std::make_unique<KaguraController>(cfg.kagura,
+                                                       nullptr);
+    }
+    if (cfg.oracle == OracleMode::Replay && !cfg.oracleLog)
+        fatal("OracleMode::Replay needs a phase-1 log");
+
+    ichain = makeChain();
+    dchain = makeChain();
+
+    iCache = std::make_unique<Cache>(cfg.icache, *mem, comp.get(),
+                                     ichain.head);
+    dCache = std::make_unique<Cache>(cfg.dcache, *mem, comp.get(),
+                                     dchain.head);
+    core = std::make_unique<Core>(*iCache, *dCache);
+
+    if (cfg.enableDecay) {
+        decayCtl = std::make_unique<DecayController>(cfg.decay);
+        dCache->setDecay(decayCtl.get());
+    }
+    if (cfg.enablePrefetch) {
+        // IPEX's intermittence gate: prefetch only while the capacitor
+        // still holds comfortable margin above the checkpoint level.
+        const double v_gate =
+            cfg.capacitor.vCheckpoint +
+            0.4 * (cfg.capacitor.vRestore - cfg.capacitor.vCheckpoint);
+        prefetcher = std::make_unique<Prefetcher>(
+            cfg.dcache.blockSize, [this, v_gate]() {
+                return cfg.infiniteEnergy || cap.voltage() > v_gate;
+            });
+        dCache->setPrefetcher(prefetcher.get());
+    }
+
+    ehs = makeEhs(cfg.ehs);
+    trace = makeTrace(cfg.trace, cfg.traceIntervals, cfg.traceSeed,
+                      cfg.traceScale);
+
+    // Words saved at a JIT checkpoint: architectural registers, store
+    // buffer, and (when present) Kagura's five registers + counter.
+    regWords = Core::architecturalRegisters + Core::storeBufferEntries;
+    if (cfg.governor == GovernorKind::Acc)
+        regWords += 2; // one GCP per cache controller
+    if (cfg.enableKagura)
+        regWords += 6; // five registers + the 2-bit counter
+}
+
+Simulator::GovernorChain
+Simulator::makeChain()
+{
+    GovernorChain chain;
+    switch (cfg.governor) {
+      case GovernorKind::None:
+        return chain;
+      case GovernorKind::Always:
+        chain.fixed = std::make_unique<FixedGovernor>(true);
+        chain.head = chain.fixed.get();
+        break;
+      case GovernorKind::Acc:
+        chain.acc = std::make_unique<AccController>();
+        chain.head = chain.acc.get();
+        break;
+    }
+    if (kaguraCtl) {
+        chain.gate =
+            std::make_unique<KaguraGate>(*kaguraCtl, chain.head);
+        chain.head = chain.gate.get();
+    }
+    switch (cfg.oracle) {
+      case OracleMode::Off:
+        break;
+      case OracleMode::Record:
+        chain.recorder = std::make_unique<OracleRecorder>(chain.head);
+        chain.head = chain.recorder.get();
+        break;
+      case OracleMode::Replay:
+        chain.replayer =
+            std::make_unique<OracleReplayer>(*cfg.oracleLog, chain.head);
+        chain.head = chain.replayer.get();
+        break;
+    }
+    return chain;
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::spend(EnergyCategory cat, PicoJoules pj)
+{
+    if (pj <= 0.0)
+        return;
+    result.ledger.add(cat, pj);
+    if (!cfg.infiniteEnergy)
+        cap.discharge(picoToJoules(pj));
+}
+
+void
+Simulator::chargeStaticPower(Cycles n)
+{
+    if (n == 0)
+        return;
+    const double dt = static_cast<double>(n) * cfg.energy.cycleTime();
+    const double cache_leak =
+        cfg.energy.cacheLeakagePerByte *
+        (cfg.icache.sizeBytes + cfg.dcache.sizeBytes);
+    spend(EnergyCategory::CacheOther, joulesToPico(cache_leak * dt));
+    spend(EnergyCategory::Memory,
+          joulesToPico(mem->params().standbyPower * dt));
+    spend(EnergyCategory::Others,
+          joulesToPico(
+              (cfg.energy.coreLeakage + cap.leakagePower()) * dt));
+}
+
+void
+Simulator::advanceWall(Cycles n)
+{
+    const Cycles ivl = cfg.energy.cyclesPerTraceInterval();
+    const Cycles end = wall + n;
+    while ((harvestedIntervals + 1) * ivl <= end) {
+        cap.charge(trace->power(harvestedIntervals) *
+                   cfg.energy.traceInterval);
+        ++harvestedIntervals;
+    }
+    wall = end;
+}
+
+void
+Simulator::rechargeUntilRestore()
+{
+    const Cycles ivl = cfg.energy.cyclesPerTraceInterval();
+    std::uint64_t guard = 0;
+    while (!cap.aboveRestore()) {
+        advanceWall(ivl);
+        // Off-state losses: the capacitor's own leakage (everything
+        // else is power-gated).
+        const double leak =
+            cap.leakagePower() * cfg.energy.traceInterval;
+        cap.discharge(leak);
+        result.ledger.add(EnergyCategory::Others, joulesToPico(leak));
+        if (++guard > 50'000'000)
+            fatal("power trace '%s' cannot recharge the %g uF capacitor "
+                  "to %g V -- harvest too weak for this configuration",
+                  trace->name().c_str(),
+                  cfg.capacitor.capacitance * 1e6,
+                  cfg.capacitor.vRestore);
+    }
+}
+
+std::uint64_t
+Simulator::powerFail(std::uint64_t op_index)
+{
+    if (kaguraCtl)
+        kaguraCtl->onPowerFailure();
+
+    EhsContext ctx{*iCache, *dCache, cfg.energy, mem->params(),
+                   comp ? &compCostsStorage : nullptr, regWords};
+    if (comp)
+        compCostsStorage = comp->costs();
+
+    if (inRegion) {
+        // Inside an atomic region JIT checkpointing is disabled
+        // (Section VII-A): the volatile state is simply lost and
+        // execution rolls back to the region-entry checkpoint.
+        iCache->invalidateAll();
+        dCache->invalidateAll();
+        core->flushFetchBuffer();
+        regionInstr = 0;
+        closeCycle();
+        ++result.powerFailures;
+        (void)op_index;
+        return regionStartIndex;
+    }
+
+    const EhsCost cost = ehs->onPowerFailure(ctx);
+    spend(EnergyCategory::Checkpoint, cost.energy);
+    advanceWall(cost.cycles);
+    result.activeCycles += cost.cycles;
+
+    // The shadow state and fetch line buffer are volatile and die
+    // with the power; the GCPs are controller registers and ride the
+    // JIT checkpoint into NVFF like every other register.
+    core->flushFetchBuffer();
+
+    closeCycle();
+    ++result.powerFailures;
+    return ehs->resumeIndex(op_index);
+}
+
+void
+Simulator::reboot()
+{
+    EhsContext ctx{*iCache, *dCache, cfg.energy, mem->params(),
+                   comp ? &compCostsStorage : nullptr, regWords};
+    const EhsCost cost = ehs->onReboot(ctx);
+    spend(EnergyCategory::Checkpoint, cost.energy);
+    advanceWall(cost.cycles);
+    result.activeCycles += cost.cycles;
+    if (kaguraCtl)
+        kaguraCtl->onReboot();
+}
+
+void
+Simulator::updateRegions(std::uint64_t instructions,
+                         std::uint64_t op_index)
+{
+    if (cfg.ioRegionInterval == 0)
+        return;
+    if (inRegion) {
+        regionInstr += instructions;
+        if (regionInstr >= cfg.ioRegionLength) {
+            inRegion = false;
+            regionInstr = 0;
+            instrSinceRegion = 0;
+        }
+        return;
+    }
+    instrSinceRegion += instructions;
+    if (instrSinceRegion < cfg.ioRegionInterval)
+        return;
+
+    // Region entry: take the extra checkpoint (registers + dirty
+    // blocks) so a failure inside can roll back consistently.
+    const FlushOutcome iclean = iCache->cleanAll();
+    const FlushOutcome dclean = dCache->cleanAll();
+    const unsigned writes = iclean.nvmBlockWrites + dclean.nvmBlockWrites;
+    const NvmParams &nvm_p = mem->params();
+    PicoJoules energy = writes * nvm_p.writeEnergy +
+                        regWords * cfg.energy.nvffWrite;
+    Cycles cycles = writes * nvm_p.writeLatency + regWords;
+    if (comp) {
+        const unsigned decomp =
+            iclean.decompressions + dclean.decompressions;
+        energy += decomp * comp->costs().decompressEnergy;
+        cycles += decomp * comp->costs().decompressLatency;
+    }
+    spend(EnergyCategory::Checkpoint, energy);
+    chargeStaticPower(cycles);
+    advanceWall(cycles);
+    result.activeCycles += cycles;
+    current.activeCycles += cycles;
+
+    inRegion = true;
+    regionStartIndex = op_index;
+    regionInstr = 0;
+}
+
+void
+Simulator::closeCycle()
+{
+    result.cycles.push_back(current);
+    current = PowerCycleRecord{};
+}
+
+SimResult
+Simulator::run()
+{
+    const Workload &wl = cachedWorkload(cfg.workload);
+    result.workload = wl.name();
+    wl.applyImage(*mem);
+    if (comp)
+        compCostsStorage = comp->costs();
+
+    const auto &ops = wl.ops();
+    const CompressionCosts ccosts =
+        comp ? comp->costs() : CompressionCosts{};
+    const PicoJoules icache_access =
+        cfg.energy.cacheAccessEnergy(cfg.icache.sizeBytes);
+    const PicoJoules dcache_access =
+        cfg.energy.cacheAccessEnergy(cfg.dcache.sizeBytes);
+    const NvmParams &nvm_p = mem->params();
+
+    const bool vol_trigger =
+        cfg.enableKagura &&
+        cfg.kagura.trigger == TriggerKind::Voltage;
+    const bool pays_monitor = ehs->hasVoltageMonitor();
+    const bool pays_extended_monitor =
+        vol_trigger && !ehs->hasVoltageMonitor();
+
+    EhsContext ctx{*iCache, *dCache, cfg.energy, nvm_p,
+                   comp ? &compCostsStorage : nullptr, regWords};
+
+    std::uint64_t idx = 0;
+    while (idx < ops.size()) {
+        const MicroOp &op = ops[idx];
+        const StepResult sr = core->step(op, wall);
+
+        // --- dynamic energy for this step -------------------------------
+        const std::uint64_t icache_accesses = sr.icacheArrayAccesses;
+        const unsigned compressions =
+            sr.icache.compressions + sr.dcache.compressions;
+        const unsigned compactions =
+            sr.icache.compactions + sr.dcache.compactions;
+        const unsigned decompressions =
+            sr.icache.decompressions + sr.dcache.decompressions;
+        const unsigned nvm_reads =
+            sr.icache.nvmBlockReads + sr.dcache.nvmBlockReads;
+        const unsigned nvm_writes =
+            sr.icache.nvmBlockWrites + sr.dcache.nvmBlockWrites;
+
+        spend(EnergyCategory::CacheOther,
+              static_cast<double>(icache_accesses) * icache_access +
+                  (sr.isMem ? dcache_access : 0.0));
+        if (compressions > 0)
+            spend(EnergyCategory::Compress,
+                  compressions * ccosts.compressEnergy +
+                      compactions * cfg.energy.compactionEnergy);
+        if (decompressions > 0)
+            spend(EnergyCategory::Decompress,
+                  decompressions * ccosts.decompressEnergy);
+        if (nvm_reads || nvm_writes)
+            spend(EnergyCategory::Memory,
+                  nvm_reads * nvm_p.readEnergy +
+                      nvm_writes * nvm_p.writeEnergy);
+        spend(EnergyCategory::Others,
+              static_cast<double>(sr.instructions) *
+                  cfg.energy.corePerInstr);
+        if (pays_monitor)
+            spend(EnergyCategory::Others,
+                  static_cast<double>(sr.instructions) *
+                      cfg.energy.monitorSample);
+        if (pays_extended_monitor)
+            spend(EnergyCategory::Others,
+                  static_cast<double>(sr.instructions) *
+                      cfg.energy.extendedMonitorSample);
+
+        // --- EHS persistence hooks --------------------------------------
+        Cycles extra_cycles = 0;
+        if (sr.isStore) {
+            const EhsCost c = ehs->onStore(op.addr, ctx);
+            spend(EnergyCategory::Memory, c.energy);
+            extra_cycles += c.cycles;
+        }
+        {
+            const EhsCost c =
+                ehs->onInstructionCommit(sr.instructions, idx + 1, ctx);
+            spend(EnergyCategory::Checkpoint, c.energy);
+            extra_cycles += c.cycles;
+        }
+
+        updateRegions(sr.instructions, idx + 1);
+
+        // --- Kagura observation points ----------------------------------
+        if (kaguraCtl) {
+            if (sr.isMem)
+                kaguraCtl->onMemOpCommit();
+            if (vol_trigger)
+                kaguraCtl->onVoltageSample(cap.voltage(),
+                                           cfg.capacitor.vCheckpoint,
+                                           cfg.capacitor.vRestore);
+        }
+
+        // --- time, leakage, counters ------------------------------------
+        const Cycles step_cycles = sr.cycles + extra_cycles;
+        chargeStaticPower(step_cycles);
+        advanceWall(step_cycles);
+        result.activeCycles += step_cycles;
+
+        result.committedInstructions += sr.instructions;
+        current.instructions += sr.instructions;
+        current.activeCycles += step_cycles;
+        if (sr.isMem) {
+            if (sr.isStore) {
+                ++result.stores;
+                ++current.stores;
+            } else {
+                ++result.loads;
+                ++current.loads;
+            }
+        }
+        ++idx;
+
+        // --- power state machine ----------------------------------------
+        if (!cfg.infiniteEnergy && cap.belowCheckpoint()) {
+            idx = powerFail(idx);
+            rechargeUntilRestore();
+            reboot();
+        }
+    }
+
+    closeCycle();
+    result.wallCycles = wall;
+    result.icache = iCache->stats();
+    result.dcache = dCache->stats();
+    if (kaguraCtl)
+        result.kagura = kaguraCtl->stats();
+    if (ichain.replayer)
+        result.oracleVetoes = ichain.replayer->vetoed();
+    if (dchain.replayer)
+        result.oracleVetoes += dchain.replayer->vetoed();
+    if (ichain.recorder) {
+        result.oracle = ichain.recorder->log();
+        result.oracle.merge(dchain.recorder->log());
+    }
+    return result;
+}
+
+} // namespace kagura

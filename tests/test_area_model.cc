@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for the Section VIII-A area model: the recomputed Kagura
+ * overhead must land in the paper's regime (162 bits, ~0.1-0.2% of a
+ * ~0.5 mm^2 core).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/area_model.hh"
+#include "kagura/kagura.hh"
+
+namespace kagura
+{
+namespace
+{
+
+TEST(AreaModel, CoreAreaMatchesThePaperScale)
+{
+    AreaModel area;
+    // Paper (McPAT): 0.538 mm^2 core including the 256 B caches.
+    EXPECT_NEAR(area.coreMm2(256), 0.538, 0.08);
+}
+
+TEST(AreaModel, KaguraUses162Bits)
+{
+    EXPECT_EQ(KaguraController::hardwareBits, 162u);
+    AreaModel area;
+    // 162 NVFF bits ~ 0.0012 mm^2: the same order as the paper's
+    // 0.000796 mm^2 flop estimate.
+    EXPECT_LT(area.kaguraMm2(), 0.002);
+    EXPECT_GT(area.kaguraMm2(), 0.0005);
+}
+
+TEST(AreaModel, OverheadFractionMatchesSectionVIIIA)
+{
+    AreaModel area;
+    const double fraction = area.kaguraOverheadFraction(256);
+    // Paper: 0.14%; our model must land within a factor of ~2.
+    EXPECT_GT(fraction, 0.0007);
+    EXPECT_LT(fraction, 0.0035);
+}
+
+TEST(AreaModel, BiggerCachesDiluteTheOverhead)
+{
+    AreaModel area;
+    EXPECT_LT(area.kaguraOverheadFraction(4096),
+              area.kaguraOverheadFraction(256));
+}
+
+TEST(AreaModel, MonotoneInBits)
+{
+    AreaModel area;
+    EXPECT_LT(area.registerMm2(32), area.registerMm2(64));
+    EXPECT_LT(area.registerMm2(32), area.nvffMm2(32));
+    EXPECT_LT(area.sramArrayMm2(128), area.sramArrayMm2(256));
+}
+
+} // namespace
+} // namespace kagura

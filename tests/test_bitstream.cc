@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Property tests for the bit-granular stream used by the compressors,
+ * and sign-extension helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compress/bitstream.hh"
+
+namespace kagura
+{
+namespace
+{
+
+TEST(BitStream, EmptyWriterHasNoBits)
+{
+    BitWriter writer;
+    EXPECT_EQ(writer.bits(), 0u);
+    EXPECT_TRUE(writer.data().empty());
+}
+
+TEST(BitStream, SingleBits)
+{
+    BitWriter writer;
+    writer.write(1, 1);
+    writer.write(0, 1);
+    writer.write(1, 1);
+    EXPECT_EQ(writer.bits(), 3u);
+    BitReader reader(writer.data());
+    EXPECT_EQ(reader.read(1), 1u);
+    EXPECT_EQ(reader.read(1), 0u);
+    EXPECT_EQ(reader.read(1), 1u);
+    EXPECT_EQ(reader.consumed(), 3u);
+}
+
+TEST(BitStream, FullWidthValues)
+{
+    BitWriter writer;
+    writer.write(0xdeadbeefcafebabeULL, 64);
+    BitReader reader(writer.data());
+    EXPECT_EQ(reader.read(64), 0xdeadbeefcafebabeULL);
+}
+
+TEST(BitStream, ValuesAreMaskedToWidth)
+{
+    BitWriter writer;
+    writer.write(0xff, 4); // only the low 4 bits land
+    writer.write(0x0, 4);
+    BitReader reader(writer.data());
+    EXPECT_EQ(reader.read(8), 0x0fu);
+}
+
+TEST(BitStream, RandomSequenceRoundTrips)
+{
+    // Property: any sequence of (value, width) writes reads back
+    // exactly, across byte boundaries and mixed widths.
+    Rng rng(0xb17);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<std::pair<std::uint64_t, unsigned>> tokens;
+        BitWriter writer;
+        const int n = 1 + static_cast<int>(rng.below(64));
+        for (int i = 0; i < n; ++i) {
+            const unsigned width =
+                1 + static_cast<unsigned>(rng.below(64));
+            const std::uint64_t mask =
+                width >= 64 ? ~0ULL : (1ULL << width) - 1;
+            const std::uint64_t value = rng.next() & mask;
+            writer.write(value, width);
+            tokens.emplace_back(value, width);
+        }
+        BitReader reader(writer.data());
+        for (const auto &[value, width] : tokens)
+            ASSERT_EQ(reader.read(width), value)
+                << "trial " << trial << " width " << width;
+    }
+}
+
+TEST(BitStream, BitCountMatchesSumOfWidths)
+{
+    BitWriter writer;
+    writer.write(1, 3);
+    writer.write(2, 7);
+    writer.write(3, 64);
+    EXPECT_EQ(writer.bits(), 74u);
+    EXPECT_EQ(writer.data().size(), 10u); // ceil(74 / 8)
+}
+
+TEST(SignExtend, PositiveAndNegative)
+{
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x0, 8), 0);
+    EXPECT_EQ(signExtend(0xffff, 16), -1);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+}
+
+TEST(SignExtend, UpperBitsAreIgnored)
+{
+    EXPECT_EQ(signExtend(0xabcdef01, 8), 1);
+    EXPECT_EQ(signExtend(0xabcd80, 8), -128);
+}
+
+TEST(SignExtend, FullWidthIsIdentity)
+{
+    EXPECT_EQ(signExtend(0xdeadbeefdeadbeefULL, 64),
+              static_cast<std::int64_t>(0xdeadbeefdeadbeefULL));
+}
+
+TEST(FitsSigned, Boundaries)
+{
+    EXPECT_TRUE(fitsSigned(127, 8));
+    EXPECT_FALSE(fitsSigned(128, 8));
+    EXPECT_TRUE(fitsSigned(-128, 8));
+    EXPECT_FALSE(fitsSigned(-129, 8));
+    EXPECT_TRUE(fitsSigned(0, 1));
+    EXPECT_TRUE(fitsSigned(-1, 1));
+    EXPECT_FALSE(fitsSigned(1, 1));
+    EXPECT_TRUE(fitsSigned(std::int64_t{1} << 40, 64));
+}
+
+TEST(FitsSigned, ConsistentWithSignExtend)
+{
+    // Property: v fits in w bits iff signExtend(v, w) == v.
+    Rng rng(0x515);
+    for (int i = 0; i < 2000; ++i) {
+        const unsigned width = 2 + static_cast<unsigned>(rng.below(62));
+        const auto v = static_cast<std::int64_t>(rng.next()) >>
+                       rng.below(62);
+        const bool fits = fitsSigned(v, width);
+        const bool preserved =
+            signExtend(static_cast<std::uint64_t>(v), width) == v;
+        ASSERT_EQ(fits, preserved) << "v=" << v << " w=" << width;
+    }
+}
+
+} // namespace
+} // namespace kagura

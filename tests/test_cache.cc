@@ -1,0 +1,532 @@
+/**
+ * @file
+ * Tests for the compressed cache: geometry, hit/miss behaviour, LRU
+ * replacement, write-back semantics, segmented compressed placement
+ * (2 x tags), governor interaction, flush/checkpoint paths, decay, and
+ * prefetching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cache/acc.hh"
+#include "cache/cache.hh"
+#include "compress/compressor.hh"
+#include "common/rng.hh"
+#include "mem/nvm.hh"
+
+namespace kagura
+{
+namespace
+{
+
+constexpr std::uint64_t memBytes = 1 << 20;
+
+/** Write a recognisable compressible pattern at @p base in @p nvm. */
+void
+fillCompressible(Nvm &nvm, Addr base, std::uint32_t seed = 5)
+{
+    for (unsigned i = 0; i < 32; i += 4) {
+        const std::uint32_t v = seed + i / 4; // small ints: FPC/BDI food
+        nvm.writeBytes(base + i, reinterpret_cast<const std::uint8_t *>(&v),
+                       4);
+    }
+}
+
+/** Write an incompressible pattern at @p base. */
+void
+fillRandom(Nvm &nvm, Addr base, std::uint64_t seed)
+{
+    for (unsigned i = 0; i < 32; ++i) {
+        std::uint64_t h = seed + i;
+        const auto b = static_cast<std::uint8_t>(splitMix64(h));
+        nvm.writeBytes(base + i, &b, 1);
+    }
+}
+
+struct PlainCacheTest : testing::Test
+{
+    PlainCacheTest() : nvm(NvmType::ReRam, memBytes), cache(cfg, nvm) {}
+
+    CacheConfig cfg{};
+    Nvm nvm;
+    Cache cache;
+    Cycles now = 0;
+
+    AccessOutcome
+    load(Addr addr, std::uint8_t *out = nullptr)
+    {
+        return cache.access(addr, false, out, 4, ++now);
+    }
+
+    AccessOutcome
+    store(Addr addr, std::uint32_t value)
+    {
+        std::uint8_t bytes[4];
+        std::memcpy(bytes, &value, 4);
+        return cache.access(addr, true, bytes, 4, ++now);
+    }
+};
+
+TEST_F(PlainCacheTest, GeometryMatchesTableI)
+{
+    EXPECT_EQ(cfg.sizeBytes, 256u);
+    EXPECT_EQ(cfg.ways, 2u);
+    EXPECT_EQ(cfg.blockSize, 32u);
+    EXPECT_EQ(cfg.sets(), 4u);
+}
+
+TEST_F(PlainCacheTest, ColdMissThenHit)
+{
+    EXPECT_FALSE(load(0x1000).hit);
+    EXPECT_TRUE(load(0x1000).hit);
+    EXPECT_TRUE(load(0x101c).hit); // same block, different offset
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST_F(PlainCacheTest, MissFetchesFromNvm)
+{
+    fillCompressible(nvm, 0x2000, 0xabc);
+    std::uint8_t out[4];
+    load(0x2000, out);
+    std::uint32_t v;
+    std::memcpy(&v, out, 4);
+    EXPECT_EQ(v, 0xabcu);
+}
+
+TEST_F(PlainCacheTest, LoadReturnsCachedBytes)
+{
+    store(0x3000, 0xdeadbeef);
+    std::uint8_t out[4];
+    EXPECT_TRUE(load(0x3000, out).hit);
+    std::uint32_t v;
+    std::memcpy(&v, out, 4);
+    EXPECT_EQ(v, 0xdeadbeefu);
+}
+
+TEST_F(PlainCacheTest, WriteBackIsLazy)
+{
+    store(0x4000, 0x1234);
+    // NVM still holds the old (zero) data until eviction/flush.
+    std::uint8_t raw[4];
+    nvm.readBytes(0x4000, raw, 4);
+    std::uint32_t v;
+    std::memcpy(&v, raw, 4);
+    EXPECT_EQ(v, 0u);
+    EXPECT_EQ(cache.dirtyLines(), 1u);
+
+    cache.flushAndInvalidate();
+    nvm.readBytes(0x4000, raw, 4);
+    std::memcpy(&v, raw, 4);
+    EXPECT_EQ(v, 0x1234u);
+}
+
+TEST_F(PlainCacheTest, LruEvictsOldestInSet)
+{
+    // Without compression each set holds `ways` = 2 blocks. Blocks
+    // mapping to set 0: addresses k * sets * blockSize = k * 128.
+    load(0 * 128);
+    load(1 * 128);
+    load(2 * 128); // evicts block 0
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(128));
+    EXPECT_TRUE(cache.contains(256));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST_F(PlainCacheTest, LruUpdatedOnHit)
+{
+    load(0 * 128);
+    load(1 * 128);
+    load(0 * 128); // touch block 0: block 1 becomes LRU
+    load(2 * 128); // evicts block 1
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(128));
+}
+
+TEST_F(PlainCacheTest, DirtyEvictionWritesBack)
+{
+    store(0 * 128, 0x42);
+    load(1 * 128);
+    load(2 * 128); // evicts dirty block 0
+    std::uint8_t raw[4];
+    nvm.readBytes(0, raw, 4);
+    std::uint32_t v;
+    std::memcpy(&v, raw, 4);
+    EXPECT_EQ(v, 0x42u);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST_F(PlainCacheTest, MissLatencyIncludesNvm)
+{
+    const AccessOutcome miss = load(0x100);
+    const AccessOutcome hit = load(0x100);
+    EXPECT_EQ(hit.latency, 1u);
+    EXPECT_EQ(miss.latency, 1 + nvm.params().readLatency);
+}
+
+TEST_F(PlainCacheTest, NoCompressionEventsWithoutCompressor)
+{
+    for (Addr a = 0; a < 4096; a += 32)
+        load(a);
+    EXPECT_EQ(cache.stats().compressions, 0u);
+    EXPECT_EQ(cache.stats().decompressions, 0u);
+}
+
+TEST_F(PlainCacheTest, InvalidateAllDropsEverythingSilently)
+{
+    store(0x100, 7);
+    cache.invalidateAll();
+    EXPECT_EQ(cache.validLines(), 0u);
+    // No writeback happened: data lost (that is the caller's choice).
+    std::uint8_t raw[4];
+    nvm.readBytes(0x100, raw, 4);
+    std::uint32_t v;
+    std::memcpy(&v, raw, 4);
+    EXPECT_EQ(v, 0u);
+}
+
+TEST_F(PlainCacheTest, CleanAllKeepsLinesResident)
+{
+    store(0x100, 7);
+    const FlushOutcome flush = cache.cleanAll();
+    EXPECT_EQ(flush.dirtyBlocks, 1u);
+    EXPECT_TRUE(cache.contains(0x100));
+    EXPECT_EQ(cache.dirtyLines(), 0u);
+}
+
+TEST_F(PlainCacheTest, WritebackBlockPersistsAndCleans)
+{
+    store(0x200, 99);
+    EXPECT_TRUE(cache.writebackBlock(0x200));
+    EXPECT_EQ(cache.dirtyLines(), 0u);
+    std::uint8_t raw[4];
+    nvm.readBytes(0x200, raw, 4);
+    std::uint32_t v;
+    std::memcpy(&v, raw, 4);
+    EXPECT_EQ(v, 99u);
+    // Second call: nothing dirty.
+    EXPECT_FALSE(cache.writebackBlock(0x200));
+    // Absent block: no-op.
+    EXPECT_FALSE(cache.writebackBlock(0x8000));
+}
+
+TEST_F(PlainCacheTest, RejectsBadGeometry)
+{
+    CacheConfig bad;
+    bad.blockSize = 33;
+    EXPECT_EXIT({ Cache c(bad, nvm); (void)c; },
+                testing::ExitedWithCode(1), "power of two");
+
+    CacheConfig bad2;
+    bad2.sizeBytes = 100;
+    EXPECT_EXIT({ Cache c(bad2, nvm); (void)c; },
+                testing::ExitedWithCode(1), "divisible");
+}
+
+struct CompressedCacheTest : testing::Test
+{
+    CompressedCacheTest()
+        : nvm(NvmType::ReRam, memBytes),
+          comp(makeCompressor(CompressorKind::Bdi)), governor(true),
+          cache(cfg, nvm, comp.get(), &governor)
+    {
+    }
+
+    CacheConfig cfg{};
+    Nvm nvm;
+    std::unique_ptr<Compressor> comp;
+    FixedGovernor governor;
+    Cache cache;
+    Cycles now = 0;
+
+    AccessOutcome
+    load(Addr addr)
+    {
+        return cache.access(addr, false, nullptr, 4, ++now);
+    }
+
+    AccessOutcome
+    store(Addr addr, std::uint32_t value)
+    {
+        std::uint8_t bytes[4];
+        std::memcpy(bytes, &value, 4);
+        return cache.access(addr, true, bytes, 4, ++now);
+    }
+};
+
+TEST_F(CompressedCacheTest, CompressibleFillsStoredCompressed)
+{
+    fillCompressible(nvm, 0);
+    load(0);
+    EXPECT_TRUE(cache.containsCompressed(0));
+    EXPECT_EQ(cache.stats().compressions, 1u);
+    EXPECT_EQ(cache.stats().compactions, 1u);
+}
+
+TEST_F(CompressedCacheTest, IncompressibleFillsStoredRaw)
+{
+    fillRandom(nvm, 0, 0x999);
+    load(0);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.containsCompressed(0));
+    // The datapath ran (energy event) even though placement was raw.
+    EXPECT_EQ(cache.stats().compressions, 1u);
+    EXPECT_EQ(cache.stats().compactions, 0u);
+}
+
+TEST_F(CompressedCacheTest, SetHoldsDoubleTheBlocksWhenCompressed)
+{
+    // Four compressible blocks mapping to the same set; with 2 ways of
+    // data space and 2x tags, all four fit compressed.
+    for (unsigned k = 0; k < 4; ++k)
+        fillCompressible(nvm, k * 128, 100 + k);
+    for (unsigned k = 0; k < 4; ++k)
+        load(k * 128);
+    for (unsigned k = 0; k < 4; ++k)
+        EXPECT_TRUE(cache.contains(k * 128)) << k;
+    EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST_F(CompressedCacheTest, TagLimitIsTwiceTheWays)
+{
+    // Five tiny blocks: the data would fit, but only 2 x ways = 4 tags
+    // exist, so the fifth insert evicts.
+    for (unsigned k = 0; k < 5; ++k)
+        fillCompressible(nvm, k * 128, 7 + k);
+    for (unsigned k = 0; k < 5; ++k)
+        load(k * 128);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(cache.contains(0));
+}
+
+TEST_F(CompressedCacheTest, CompressedHitDecompresses)
+{
+    fillCompressible(nvm, 0);
+    load(0);
+    const AccessOutcome hit = load(0);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.hitCompressed);
+    EXPECT_EQ(hit.decompressions, 1u);
+    EXPECT_GE(hit.latency, 1 + comp->costs().decompressLatency);
+}
+
+TEST_F(CompressedCacheTest, MakeRoomCompressesResidentLines)
+{
+    // Two incompressible-free, initially-uncompressed residents can be
+    // compacted when a third block arrives. Use a governor that flips:
+    // raw placement first, then allow compression.
+    governor.set(false);
+    fillCompressible(nvm, 0 * 128, 11);
+    fillCompressible(nvm, 1 * 128, 22);
+    fillCompressible(nvm, 2 * 128, 33);
+    load(0 * 128);
+    load(1 * 128);
+    EXPECT_FALSE(cache.containsCompressed(0));
+    governor.set(true);
+    load(2 * 128); // needs room: compress the residents, no eviction
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_TRUE(cache.contains(0 * 128));
+    EXPECT_TRUE(cache.contains(1 * 128));
+    EXPECT_TRUE(cache.contains(2 * 128));
+}
+
+TEST_F(CompressedCacheTest, DisabledCompressionFallsBackToEviction)
+{
+    governor.set(false);
+    for (unsigned k = 0; k < 3; ++k) {
+        fillCompressible(nvm, k * 128, 50 + k);
+        load(k * 128);
+    }
+    // Regular Mode semantics: conventional replacement, block 0 gone.
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_EQ(cache.stats().compactions, 0u);
+}
+
+TEST_F(CompressedCacheTest, StoreToCompressedLineRecompresses)
+{
+    fillCompressible(nvm, 0);
+    load(0);
+    const std::uint64_t before = cache.stats().compressions;
+    store(0, 77); // still compressible: recompress in place
+    EXPECT_GT(cache.stats().compressions, before);
+    EXPECT_TRUE(cache.containsCompressed(0));
+}
+
+TEST_F(CompressedCacheTest, StoreCanExpandCompressedLine)
+{
+    fillCompressible(nvm, 0);
+    load(0);
+    ASSERT_TRUE(cache.containsCompressed(0));
+    // Make the block incompressible by storing random words.
+    for (unsigned i = 0; i < 32; i += 4) {
+        std::uint64_t h = 0xfeed + i;
+        store(i, static_cast<std::uint32_t>(splitMix64(h)));
+    }
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.containsCompressed(0));
+}
+
+TEST_F(CompressedCacheTest, RegularModeStoreExpandsInsteadOfRecompressing)
+{
+    fillCompressible(nvm, 0);
+    load(0);
+    ASSERT_TRUE(cache.containsCompressed(0));
+    governor.set(false); // Kagura RM
+    const std::uint64_t comps = cache.stats().compressions;
+    store(0, 5); // fits raw in the otherwise-empty set: expand
+    EXPECT_EQ(cache.stats().compressions, comps);
+    EXPECT_FALSE(cache.containsCompressed(0));
+}
+
+TEST_F(CompressedCacheTest, FlushDecompressesCompressedDirtyBlocks)
+{
+    fillCompressible(nvm, 0);
+    load(0);
+    store(0, 3);
+    ASSERT_TRUE(cache.containsCompressed(0));
+    const std::uint64_t before = cache.stats().decompressions;
+    const FlushOutcome flush = cache.flushAndInvalidate();
+    EXPECT_EQ(flush.dirtyBlocks, 1u);
+    EXPECT_EQ(flush.decompressions, 1u);
+    EXPECT_GT(cache.stats().decompressions, before);
+    std::uint8_t raw[4];
+    nvm.readBytes(0, raw, 4);
+    std::uint32_t v;
+    std::memcpy(&v, raw, 4);
+    EXPECT_EQ(v, 3u);
+}
+
+TEST_F(CompressedCacheTest, FunctionalEquivalenceUnderCompression)
+{
+    // Property: a compressed cache returns exactly the bytes a plain
+    // cache would, across a mixed access pattern.
+    Nvm nvm2(NvmType::ReRam, memBytes);
+    Cache plain(cfg, nvm2);
+    for (Addr base = 0; base < 2048; base += 32) {
+        fillCompressible(nvm, base, static_cast<std::uint32_t>(base));
+        fillCompressible(nvm2, base, static_cast<std::uint32_t>(base));
+    }
+    Rng rng(0x77);
+    for (int i = 0; i < 4000; ++i) {
+        const Addr addr = rng.below(2048 / 4) * 4;
+        if (rng.chance(0.3)) {
+            const auto v = static_cast<std::uint32_t>(rng.next());
+            std::uint8_t b[4];
+            std::memcpy(b, &v, 4);
+            cache.access(addr, true, b, 4, ++now);
+            plain.access(addr, true, b, 4, now);
+        } else {
+            std::uint8_t a[4] = {0}, b[4] = {0};
+            cache.access(addr, false, a, 4, ++now);
+            plain.access(addr, false, b, 4, now);
+            ASSERT_EQ(std::memcmp(a, b, 4), 0) << "addr " << addr;
+        }
+    }
+    // And the post-flush NVM images agree.
+    cache.flushAndInvalidate();
+    plain.flushAndInvalidate();
+    for (Addr a = 0; a < 2048; ++a) {
+        std::uint8_t x, y;
+        nvm.readBytes(a, &x, 1);
+        nvm2.readBytes(a, &y, 1);
+        ASSERT_EQ(x, y) << "addr " << a;
+    }
+}
+
+TEST(CacheDecay, EagerWritebackOfDeadLines)
+{
+    Nvm nvm(NvmType::ReRam, memBytes);
+    CacheConfig cfg;
+    Cache cache(cfg, nvm);
+    DecayController decay(DecayConfig{100});
+    cache.setDecay(&decay);
+
+    std::uint8_t b[4] = {9, 0, 0, 0};
+    cache.access(0, true, b, 4, 10);
+    EXPECT_EQ(cache.dirtyLines(), 1u);
+    // Long idle gap, then an access to the same set sweeps dead lines.
+    cache.access(128, false, nullptr, 4, 500);
+    EXPECT_EQ(cache.dirtyLines(), 0u);
+    EXPECT_EQ(decay.eagerWritebacks(), 1u);
+    EXPECT_EQ(cache.stats().decayWritebacks, 1u);
+    // Block 0 is still resident (clean), so a checkpoint is cheaper.
+    EXPECT_TRUE(cache.contains(0));
+}
+
+TEST(CacheDecay, FreshLinesAreNotDead)
+{
+    DecayController decay(DecayConfig{1000});
+    EXPECT_FALSE(decay.isDead(100, 200));
+    EXPECT_TRUE(decay.isDead(100, 2000));
+    EXPECT_FALSE(decay.isDead(200, 100)); // time never runs backwards
+}
+
+TEST(CachePrefetch, StreamedMissesTriggerNextLineFills)
+{
+    Nvm nvm(NvmType::ReRam, memBytes);
+    CacheConfig cfg;
+    Cache cache(cfg, nvm);
+    Prefetcher pf(cfg.blockSize);
+    cache.setPrefetcher(&pf);
+
+    // The first miss only trains the stream detector.
+    cache.access(0x100, false, nullptr, 4, 1);
+    EXPECT_FALSE(cache.contains(0x140));
+    // A sequential second miss makes a stream: the next line fills.
+    cache.access(0x120, false, nullptr, 4, 2);
+    EXPECT_TRUE(cache.contains(0x140));
+    EXPECT_EQ(cache.stats().prefetchFills, 1u);
+    EXPECT_EQ(pf.issuedCount(), 1u);
+}
+
+TEST(CachePrefetch, NonStreamingMissesDoNotPrefetch)
+{
+    Nvm nvm(NvmType::ReRam, memBytes);
+    CacheConfig cfg;
+    Cache cache(cfg, nvm);
+    Prefetcher pf(cfg.blockSize);
+    cache.setPrefetcher(&pf);
+
+    cache.access(0x100, false, nullptr, 4, 1);
+    cache.access(0x800, false, nullptr, 4, 2); // random jump
+    cache.access(0x300, false, nullptr, 4, 3); // another jump
+    EXPECT_EQ(pf.issuedCount(), 0u);
+    EXPECT_EQ(cache.stats().prefetchFills, 0u);
+}
+
+TEST(CachePrefetch, GateVetoesPrefetch)
+{
+    Nvm nvm(NvmType::ReRam, memBytes);
+    CacheConfig cfg;
+    Cache cache(cfg, nvm);
+    bool allowed = false;
+    Prefetcher pf(cfg.blockSize, [&]() { return allowed; });
+    cache.setPrefetcher(&pf);
+
+    cache.access(0x100, false, nullptr, 4, 1);
+    cache.access(0x120, false, nullptr, 4, 2); // stream, but gated
+    EXPECT_FALSE(cache.contains(0x140));
+    EXPECT_EQ(pf.vetoedCount(), 1u);
+
+    allowed = true;
+    cache.access(0x400, false, nullptr, 4, 3);
+    cache.access(0x420, false, nullptr, 4, 4);
+    EXPECT_TRUE(cache.contains(0x440));
+}
+
+TEST(CachePrefetch, PrefetchOfResidentBlockIsFree)
+{
+    Nvm nvm(NvmType::ReRam, memBytes);
+    CacheConfig cfg;
+    Cache cache(cfg, nvm);
+    cache.access(0x100, false, nullptr, 4, 1);
+    const AccessOutcome out = cache.prefetchFill(0x100, 2);
+    EXPECT_EQ(out.nvmBlockReads, 0u);
+}
+
+} // namespace
+} // namespace kagura

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the EHS persistence designs and the NVM model:
+ * NVSRAMCache's JIT checkpoint, NvMR's store-through renaming, and
+ * SweepCache's region sweeping + rollback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ehs/ehs.hh"
+#include "ehs/nvmr.hh"
+#include "ehs/nvsram.hh"
+#include "ehs/sweepcache.hh"
+#include "mem/nvm.hh"
+
+namespace kagura
+{
+namespace
+{
+
+struct EhsTest : testing::Test
+{
+    EhsTest()
+        : nvm(NvmType::ReRam, 1 << 20), icache(cfg, nvm),
+          dcache(cfg, nvm),
+          ctx{icache, dcache, energy, nvm.params(), nullptr, 36}
+    {
+    }
+
+    void
+    dirtyStore(Addr addr, std::uint32_t value)
+    {
+        std::uint8_t b[4];
+        std::memcpy(b, &value, 4);
+        dcache.access(addr, true, b, 4, ++now);
+    }
+
+    CacheConfig cfg{};
+    Nvm nvm;
+    Cache icache;
+    Cache dcache;
+    EnergyModel energy{};
+    EhsContext ctx;
+    Cycles now = 0;
+};
+
+// --- factory -------------------------------------------------------------
+
+TEST(EhsFactory, ProducesAllDesigns)
+{
+    for (EhsKind kind :
+         {EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache}) {
+        auto design = makeEhs(kind);
+        EXPECT_EQ(design->kind(), kind);
+        EXPECT_STREQ(design->name(), ehsKindName(kind));
+    }
+}
+
+TEST(EhsFactory, MonitorOwnership)
+{
+    EXPECT_TRUE(makeEhs(EhsKind::NvsramCache)->hasVoltageMonitor());
+    EXPECT_FALSE(makeEhs(EhsKind::NvMR)->hasVoltageMonitor());
+    EXPECT_FALSE(makeEhs(EhsKind::SweepCache)->hasVoltageMonitor());
+}
+
+// --- NVSRAMCache -----------------------------------------------------------
+
+TEST_F(EhsTest, NvsramCheckpointFlushesDirtyBlocks)
+{
+    NvsramEhs ehs;
+    dirtyStore(0x100, 0xaa);
+    dirtyStore(0x200, 0xbb);
+    const EhsCost cost = ehs.onPowerFailure(ctx);
+    EXPECT_EQ(cost.nvmBlockWrites, 2u);
+    EXPECT_GT(cost.energy,
+              2 * nvm.params().writeEnergy); // flush + registers
+    EXPECT_EQ(dcache.validLines(), 0u);      // cache lost on reboot
+    std::uint8_t raw[4];
+    nvm.readBytes(0x100, raw, 4);
+    std::uint32_t v;
+    std::memcpy(&v, raw, 4);
+    EXPECT_EQ(v, 0xaau); // but the data survived in NVM
+}
+
+TEST_F(EhsTest, NvsramCleanCheckpointIsCheap)
+{
+    NvsramEhs ehs;
+    dcache.access(0x100, false, nullptr, 4, 1); // clean fill
+    const EhsCost cost = ehs.onPowerFailure(ctx);
+    EXPECT_EQ(cost.nvmBlockWrites, 0u);
+    // Only register save energy remains.
+    EXPECT_NEAR(cost.energy, 36 * energy.nvffWrite, 1e-9);
+}
+
+TEST_F(EhsTest, NvsramRebootRestoresRegisters)
+{
+    NvsramEhs ehs;
+    const EhsCost cost = ehs.onReboot(ctx);
+    EXPECT_GE(cost.energy, 36 * energy.nvffRead + energy.rebootEnergy);
+    EXPECT_GE(cost.cycles, energy.rebootLatency);
+}
+
+TEST_F(EhsTest, NvsramResumesExactlyWhereItFailed)
+{
+    NvsramEhs ehs;
+    EXPECT_EQ(ehs.resumeIndex(1234), 1234u);
+}
+
+// --- NvMR -------------------------------------------------------------------
+
+TEST_F(EhsTest, NvmrStoresPersistImmediately)
+{
+    NvmrEhs ehs;
+    dirtyStore(0x100, 0x77);
+    ehs.onStore(0x100, ctx);
+    // The block was written through and marked clean.
+    EXPECT_EQ(dcache.dirtyLines(), 0u);
+    std::uint8_t raw[4];
+    nvm.readBytes(0x100, raw, 4);
+    std::uint32_t v;
+    std::memcpy(&v, raw, 4);
+    EXPECT_EQ(v, 0x77u);
+}
+
+TEST_F(EhsTest, NvmrMergeBufferCoalesces)
+{
+    NvmrEhs ehs;
+    dirtyStore(0x100, 1);
+    const EhsCost first = ehs.onStore(0x100, ctx);
+    EXPECT_EQ(first.nvmBlockWrites, 1u);
+    dirtyStore(0x104, 2); // same block: coalesced
+    const EhsCost second = ehs.onStore(0x104, ctx);
+    EXPECT_EQ(second.nvmBlockWrites, 0u);
+    EXPECT_LT(second.energy, first.energy);
+    EXPECT_EQ(ehs.mergeHits(), 1u);
+}
+
+TEST_F(EhsTest, NvmrPowerFailureNeedsNoFlush)
+{
+    NvmrEhs ehs;
+    dirtyStore(0x100, 9);
+    ehs.onStore(0x100, ctx);
+    const EhsCost cost = ehs.onPowerFailure(ctx);
+    EXPECT_EQ(cost.nvmBlockWrites, 0u);
+    EXPECT_EQ(dcache.validLines(), 0u);
+    // Data still safe.
+    std::uint8_t raw[4];
+    nvm.readBytes(0x100, raw, 4);
+    std::uint32_t v;
+    std::memcpy(&v, raw, 4);
+    EXPECT_EQ(v, 9u);
+}
+
+TEST_F(EhsTest, NvmrMapTableCacheMissesCost)
+{
+    NvmrEhs ehs;
+    // Touch more distinct blocks than the 16-entry MTC holds.
+    for (unsigned k = 0; k < 40; ++k) {
+        dirtyStore(0x1000 + k * 32, k);
+        ehs.onStore(0x1000 + k * 32, ctx);
+    }
+    EXPECT_GE(ehs.mapMisses(), 40u);
+}
+
+// --- SweepCache --------------------------------------------------------------
+
+TEST_F(EhsTest, SweepRegionBoundarySweepsDirtyBlocks)
+{
+    SweepEhs ehs(100);
+    dirtyStore(0x100, 0x55);
+    // 99 instructions: no boundary yet.
+    EhsCost cost = ehs.onInstructionCommit(99, 10, ctx);
+    EXPECT_EQ(cost.nvmBlockWrites, 0u);
+    EXPECT_EQ(dcache.dirtyLines(), 1u);
+    // Crossing the boundary sweeps.
+    cost = ehs.onInstructionCommit(1, 11, ctx);
+    EXPECT_EQ(cost.nvmBlockWrites, 1u);
+    EXPECT_EQ(dcache.dirtyLines(), 0u);
+    EXPECT_TRUE(dcache.contains(0x100)); // swept, not invalidated
+    EXPECT_EQ(ehs.sweeps(), 1u);
+}
+
+TEST_F(EhsTest, SweepRollsBackToTheBoundary)
+{
+    SweepEhs ehs(100);
+    ehs.onInstructionCommit(100, 40, ctx); // boundary at op 40
+    ehs.onInstructionCommit(50, 70, ctx);  // no boundary
+    ehs.onPowerFailure(ctx);
+    EXPECT_EQ(ehs.resumeIndex(70), 40u);
+}
+
+TEST_F(EhsTest, SweepPowerFailureDropsCaches)
+{
+    SweepEhs ehs(1000);
+    dirtyStore(0x100, 1);
+    ehs.onPowerFailure(ctx);
+    EXPECT_EQ(dcache.validLines(), 0u);
+}
+
+TEST_F(EhsTest, SweepRejectsZeroRegion)
+{
+    EXPECT_EXIT({ SweepEhs bad(0); }, testing::ExitedWithCode(1),
+                "region size");
+}
+
+// --- NVM ----------------------------------------------------------------------
+
+TEST(Nvm, FunctionalReadWrite)
+{
+    Nvm nvm(NvmType::ReRam, 4096);
+    const std::uint8_t data[4] = {1, 2, 3, 4};
+    nvm.writeBytes(100, data, 4);
+    std::uint8_t out[4];
+    nvm.readBytes(100, out, 4);
+    EXPECT_EQ(std::memcmp(data, out, 4), 0);
+}
+
+TEST(Nvm, AddressesWrapModuloCapacity)
+{
+    Nvm nvm(NvmType::ReRam, 4096);
+    const std::uint8_t b = 0x5a;
+    nvm.writeBytes(4096 + 8, &b, 1);
+    std::uint8_t out;
+    nvm.readBytes(8, &out, 1);
+    EXPECT_EQ(out, 0x5a);
+}
+
+TEST(Nvm, BlockReadCopies)
+{
+    Nvm nvm(NvmType::ReRam, 4096);
+    const std::uint8_t b = 7;
+    nvm.writeBytes(64, &b, 1);
+    const auto block = nvm.readBlock(64, 32);
+    ASSERT_EQ(block.size(), 32u);
+    EXPECT_EQ(block[0], 7);
+    EXPECT_EQ(block[1], 0);
+}
+
+TEST(Nvm, AccessCountersTrack)
+{
+    Nvm nvm(NvmType::ReRam, 4096);
+    nvm.noteBlockRead();
+    nvm.noteBlockWrite();
+    nvm.noteBlockWrite();
+    EXPECT_EQ(nvm.blockReads(), 1u);
+    EXPECT_EQ(nvm.blockWrites(), 2u);
+}
+
+TEST(Nvm, ZeroCapacityIsFatal)
+{
+    EXPECT_EXIT({ Nvm bad(NvmType::ReRam, 0); },
+                testing::ExitedWithCode(1), "capacity");
+}
+
+} // namespace
+} // namespace kagura

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for KaguraGate (the per-cache adapter around a shared
+ * KaguraController) and the OracleLog merge used by the per-cache
+ * recorder pair.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/acc.hh"
+#include "kagura/kagura.hh"
+#include "kagura/oracle.hh"
+
+namespace kagura
+{
+namespace
+{
+
+KaguraConfig
+gateConfig()
+{
+    KaguraConfig cfg;
+    cfg.initialThreshold = 4;
+    return cfg;
+}
+
+TEST(KaguraGate, SharesTheControllersMode)
+{
+    KaguraController kagura(gateConfig(), nullptr);
+    AccController acc_i, acc_d;
+    KaguraGate gate_i(kagura, &acc_i), gate_d(kagura, &acc_d);
+
+    EXPECT_TRUE(gate_i.shouldCompress(0));
+    EXPECT_TRUE(gate_d.shouldCompress(0));
+
+    // Drive the controller into Regular Mode: both gates flip at once.
+    kagura.onMemOpCommit(); // R_prev = 0: remain 0 <= thres -> RM
+    ASSERT_EQ(kagura.mode(), KaguraController::Mode::Regular);
+    EXPECT_FALSE(gate_i.shouldCompress(0));
+    EXPECT_FALSE(gate_d.shouldCompress(0));
+    EXPECT_FALSE(gate_i.runCompressor(0));
+}
+
+TEST(KaguraGate, InnersStayIndependent)
+{
+    KaguraController kagura(gateConfig(), nullptr);
+    AccConfig weak;
+    weak.initialValue = 1;
+    AccController acc_i(weak), acc_d(weak);
+    KaguraGate gate_i(kagura, &acc_i), gate_d(kagura, &acc_d);
+
+    // Kill only the ICache side's predictor.
+    gate_i.noteWastedDecompression(0);
+    gate_i.noteWastedDecompression(0);
+    EXPECT_FALSE(gate_i.shouldCompress(0));
+    EXPECT_TRUE(gate_d.shouldCompress(0)); // DCache unaffected
+}
+
+TEST(KaguraGate, RoutesDisabledMissesToTheControllerInRm)
+{
+    KaguraController kagura(gateConfig(), nullptr);
+    AccController acc;
+    KaguraGate gate(kagura, &acc);
+
+    kagura.onMemOpCommit(); // enter RM
+    ASSERT_EQ(kagura.mode(), KaguraController::Mode::Regular);
+    const std::int64_t gcp_before = acc.predictor();
+    gate.noteCompressionDisabledMiss(0x100);
+    // Kagura's R_evict integrates the event...
+    EXPECT_EQ(kagura.evictCount(), 1u);
+    // ...but the inner predictor's learning is frozen in RM
+    // (anti-windup; DESIGN.md section 4.1).
+    EXPECT_EQ(acc.predictor(), gcp_before);
+}
+
+TEST(KaguraGate, ForwardsLearningInCompressionMode)
+{
+    KaguraController kagura(gateConfig(), nullptr);
+    AccController acc;
+    KaguraGate gate(kagura, &acc);
+
+    ASSERT_EQ(kagura.mode(), KaguraController::Mode::Compression);
+    const std::int64_t gcp_before = acc.predictor();
+    gate.noteCompressionDisabledMiss(0x100);
+    EXPECT_GT(acc.predictor(), gcp_before);
+    // CM-time events do not count toward R_evict.
+    EXPECT_EQ(kagura.evictCount(), 0u);
+}
+
+TEST(KaguraGate, WorksWithoutAnInnerGovernor)
+{
+    KaguraController kagura(gateConfig(), nullptr);
+    KaguraGate gate(kagura, nullptr);
+    EXPECT_TRUE(gate.shouldCompress(0));
+    EXPECT_TRUE(gate.runCompressor(0));
+    // All notifications are safe no-ops.
+    gate.noteCompression(0);
+    gate.noteRecompression(0);
+    gate.noteIncompressible(0);
+    gate.noteCompressionEnabledHit(0);
+    gate.noteWastedDecompression(0);
+    gate.noteCompressionContribution(0);
+    gate.noteEviction(0, true);
+    gate.noteCacheCleared();
+}
+
+TEST(OracleLogMerge, CombinesPerCacheTallies)
+{
+    OracleLog icache_log, dcache_log;
+    icache_log.addBeneficial(0x8000);  // a code block
+    dcache_log.addUseless(0x100000);   // a data block
+    dcache_log.addUseless(0x8000);     // same address seen by both
+
+    OracleLog merged = icache_log;
+    merged.merge(dcache_log);
+    EXPECT_EQ(merged.size(), 2u);
+    // Ever-beneficial wins for the shared address.
+    EXPECT_TRUE(merged.worthCompressing(0x8000, false));
+    EXPECT_FALSE(merged.worthCompressing(0x100000, true));
+}
+
+TEST(OracleLogMerge, EmptyMergeIsIdentity)
+{
+    OracleLog log;
+    log.addBeneficial(1);
+    OracleLog empty;
+    log.merge(empty);
+    EXPECT_EQ(log.size(), 1u);
+    empty.merge(log);
+    EXPECT_EQ(empty.size(), 1u);
+}
+
+} // namespace
+} // namespace kagura

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for power-trace file I/O (the paper's one-watt-value-per-line
+ * text format) and remaining trace edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "energy/power_trace.hh"
+
+namespace kagura
+{
+namespace
+{
+
+/** RAII temp file with the given contents. */
+struct TempTraceFile
+{
+    explicit TempTraceFile(const std::string &contents)
+    {
+        path = std::string(::testing::TempDir()) + "kagura_trace_" +
+               std::to_string(counter++) + ".txt";
+        std::ofstream out(path);
+        out << contents;
+    }
+
+    ~TempTraceFile() { std::remove(path.c_str()); }
+
+    std::string path;
+    static int counter;
+};
+
+int TempTraceFile::counter = 0;
+
+TEST(TraceFile, LoadsWattsPerLine)
+{
+    TempTraceFile file("1e-05\n2e-05\n3e-05\n");
+    auto trace = loadTraceFile(file.path);
+    ASSERT_EQ(trace->length(), 3u);
+    EXPECT_DOUBLE_EQ(trace->power(0), 1e-5);
+    EXPECT_DOUBLE_EQ(trace->power(1), 2e-5);
+    EXPECT_DOUBLE_EQ(trace->power(2), 3e-5);
+    // And wraps cyclically like every trace.
+    EXPECT_DOUBLE_EQ(trace->power(3), 1e-5);
+}
+
+TEST(TraceFile, AcceptsWhitespaceSeparation)
+{
+    TempTraceFile file("1e-05 2e-05\n\n3e-05\t4e-05");
+    auto trace = loadTraceFile(file.path);
+    EXPECT_EQ(trace->length(), 4u);
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    EXPECT_EXIT({ loadTraceFile("/nonexistent/trace.txt"); },
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFile, EmptyFileIsFatal)
+{
+    TempTraceFile file("");
+    EXPECT_EXIT({ loadTraceFile(file.path); },
+                testing::ExitedWithCode(1), "no samples");
+}
+
+TEST(TraceFile, RoundTripsThroughTheGeneratorFormat)
+{
+    // Export a synthetic trace in the text format and load it back:
+    // the samples must match bit-for-bit at %.9e precision.
+    auto original = makeTrace(TraceKind::Thermal, 500, 77);
+    std::string contents;
+    for (std::uint64_t i = 0; i < original->length(); ++i) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.9e\n", original->power(i));
+        contents += buf;
+    }
+    TempTraceFile file(contents);
+    auto loaded = loadTraceFile(file.path);
+    ASSERT_EQ(loaded->length(), original->length());
+    for (std::uint64_t i = 0; i < loaded->length(); ++i)
+        ASSERT_NEAR(loaded->power(i), original->power(i),
+                    original->power(i) * 1e-8);
+}
+
+TEST(TraceEdgeCases, ConstantTraceIsPerfectlyStable)
+{
+    auto trace = makeTrace(TraceKind::Constant, 100, 1);
+    EXPECT_DOUBLE_EQ(trace->stableFraction(), 1.0);
+    EXPECT_DOUBLE_EQ(trace->power(0), trace->power(99));
+}
+
+TEST(TraceEdgeCases, ZeroIntervalsIsFatal)
+{
+    EXPECT_EXIT({ makeTrace(TraceKind::RfHome, 0); },
+                testing::ExitedWithCode(1), "at least one");
+}
+
+TEST(TraceEdgeCases, TraceKindNames)
+{
+    EXPECT_STREQ(traceKindName(TraceKind::RfHome), "RFHome");
+    EXPECT_STREQ(traceKindName(TraceKind::Solar), "Solar");
+    EXPECT_STREQ(traceKindName(TraceKind::Thermal), "Thermal");
+    EXPECT_STREQ(traceKindName(TraceKind::Constant), "Constant");
+}
+
+} // namespace
+} // namespace kagura

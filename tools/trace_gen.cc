@@ -1,0 +1,56 @@
+/**
+ * @file
+ * trace_gen -- export a synthetic ambient power trace in the text
+ * format the paper describes (one average-watt value per 10 us
+ * interval, one per line). The output can be fed back to the
+ * simulator through loadTraceFile(), or inspected/plotted externally.
+ *
+ * Usage: trace_gen KIND INTERVALS [SEED] > trace.txt
+ *        (KIND: rfhome | solar | thermal | constant)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "energy/power_trace.hh"
+
+using namespace kagura;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3 || std::strcmp(argv[1], "--help") == 0) {
+        std::fprintf(stderr,
+                     "usage: trace_gen KIND INTERVALS [SEED]\n"
+                     "  KIND: rfhome | solar | thermal | constant\n"
+                     "  one average-watt value per 10 us interval, one "
+                     "per line\n");
+        return argc < 3 ? 1 : 0;
+    }
+
+    const std::string kind_str = argv[1];
+    TraceKind kind;
+    if (kind_str == "rfhome")
+        kind = TraceKind::RfHome;
+    else if (kind_str == "solar")
+        kind = TraceKind::Solar;
+    else if (kind_str == "thermal")
+        kind = TraceKind::Thermal;
+    else if (kind_str == "constant")
+        kind = TraceKind::Constant;
+    else
+        fatal("unknown trace kind '%s'", kind_str.c_str());
+
+    const auto intervals =
+        static_cast<std::uint64_t>(std::strtoull(argv[2], nullptr, 0));
+    const std::uint64_t seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 0x6b616775;
+
+    auto trace = makeTrace(kind, intervals, seed);
+    for (std::uint64_t i = 0; i < trace->length(); ++i)
+        std::printf("%.9e\n", trace->power(i));
+    return 0;
+}
