@@ -13,8 +13,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Ablation", "Kagura mechanism ablation",
                   "(repository extension; the paper's Tables II/IV and "
                   "Figs. 21/22 sweep parameters, this removes "

@@ -12,8 +12,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Ablation", "Replacement policies",
                   "(repository extension; the paper fixes LRU)");
 

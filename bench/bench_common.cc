@@ -1,13 +1,66 @@
 #include "bench_common.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
+#include "runner/cache_store.hh"
+#include "runner/progress.hh"
+#include "runner/runner.hh"
 
 namespace kagura
 {
 namespace bench
 {
+
+namespace
+{
+
+void
+printTelemetry()
+{
+    runner::printSummary(stdout, runner::jobCount());
+}
+
+} // namespace
+
+void
+init(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("flag %s needs a value", arg);
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--jobs") == 0) {
+            const long n = std::strtol(value(), nullptr, 10);
+            if (n < 1)
+                fatal("--jobs wants an integer >= 1");
+            runner::setJobCount(static_cast<unsigned>(n));
+        } else if (std::strcmp(arg, "--repeats") == 0) {
+            const long n = std::strtol(value(), nullptr, 10);
+            if (n < 1)
+                fatal("--repeats wants an integer >= 1");
+            suiteRepeats = static_cast<unsigned>(n);
+        } else if (std::strcmp(arg, "--no-cache") == 0) {
+            runner::CacheStore::global().setEnabled(false);
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            std::printf("usage: %s [--jobs N] [--repeats N] "
+                        "[--no-cache]\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            fatal("unknown flag '%s' (bench binaries take --jobs N, "
+                  "--repeats N, --no-cache)",
+                  arg);
+        }
+    }
+    std::atexit(printTelemetry);
+}
 
 void
 banner(const std::string &experiment_id, const std::string &title,

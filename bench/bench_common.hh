@@ -21,6 +21,21 @@ namespace kagura
 namespace bench
 {
 
+/**
+ * Parse the standard bench flags and arm the runner harness. Call
+ * first thing in every bench main:
+ *
+ *   --jobs N      worker threads (default: KAGURA_JOBS env, else
+ *                 hardware_concurrency)
+ *   --repeats N   trace seeds per configuration (default: the
+ *                 KAGURA_REPEATS env, else 5)
+ *   --no-cache    skip the persistent result cache for this run
+ *
+ * Also registers an atexit hook that prints the runner telemetry
+ * summary ([runner] jobs=... hit_rate=...) after the tables.
+ */
+void init(int argc, char **argv);
+
 /** Print the standard experiment banner. */
 void banner(const std::string &experiment_id, const std::string &title,
             const std::string &paper_summary);

@@ -13,8 +13,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Ext. Sec. IX", "Extended compression algorithms",
                   "(repository extension; adds BPC and FVC to the "
                   "Fig. 23 sweep)");

@@ -14,8 +14,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Ext. VII-A", "Atomic peripheral regions",
                   "region checkpoints consume extra energy, giving "
                   "Kagura more opportunities (Sections VII-A/VII-C)");

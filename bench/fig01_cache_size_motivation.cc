@@ -13,8 +13,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner(
         "Fig. 1", "Speedup vs cache size (no compression)",
         "256 B is the sweet spot; >=512 B declines (leakage/checkpoint), "

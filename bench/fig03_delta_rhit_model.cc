@@ -28,8 +28,9 @@ minDeltaRhit(double a, double e, double f, double e_comp, double e_decomp,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 3",
                   "Minimum Delta R_hit for net energy benefit",
                   "threshold falls as a/e/f fall, rises with "

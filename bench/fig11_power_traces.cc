@@ -13,8 +13,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 11", "Ambient power traces",
                   "solar/thermal mostly stable; RFHome weak and bursty");
 

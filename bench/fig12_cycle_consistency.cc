@@ -15,8 +15,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 12", "Neighbouring power-cycle consistency",
                   "avg diff: load 5.73% store 14.11% CPI 5.26%; "
                   "<20%-pairs: load 86.91% store 80.27% CPI 88.48%");

@@ -16,8 +16,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner(
         "Fig. 13", "Main speedup result",
         "ACC +0.0022%, ACC+Kagura +4.74% (max +17.87%), ideal +6.19%; "

@@ -14,8 +14,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 14", "Power-cycle length distribution",
                   "most cycles of an app have comparable length "
                   "(thousands of committed instructions)");

@@ -11,8 +11,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 15", "Cache miss rates",
                   "ACC: -1.45% I / -2.29% D (absolute); ACC+Kagura: "
                   "-2.71% I / -3.24% D");

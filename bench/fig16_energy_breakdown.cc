@@ -12,8 +12,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 16", "Normalised energy breakdown",
                   "ACC compress/decompress overheads 6.88%/3.06%; with "
                   "Kagura 4.12%/2.75%; total -4.53% vs baseline");

@@ -13,8 +13,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 17", "Speedup vs arithmetic intensity",
                   "Kagura's improvement is inversely related to "
                   "arithmetic intensity");

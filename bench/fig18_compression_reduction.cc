@@ -11,8 +11,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 18", "Compression reduction ratio by Kagura",
                   "~9.85% average, >40% for g721d/g721e");
 

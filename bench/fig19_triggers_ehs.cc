@@ -15,8 +15,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 19", "Trigger strategies on EHS designs",
                   "mem trigger: +4.74/+5.54/+3.15% on NVSRAM/NvMR/"
                   "Sweep; vol trigger degrades ACC by -0.23/-2.81% on "

@@ -12,8 +12,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 20", "Kagura with other cache managements",
                   "EDBP +5.32% -> +12.14% with ACC+Kagura; IPEX "
                   "+12.73% -> +18.37%");

@@ -11,8 +11,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 21", "R_thres adaptation schemes",
                   "AIMD best; MIAD/MIMD poor (aggressive increase "
                   "suppresses useful compressions)");

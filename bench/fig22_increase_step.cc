@@ -11,8 +11,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 22", "R_thres increase step",
                   "10% best; 5% too conservative, 15-20% too "
                   "aggressive");

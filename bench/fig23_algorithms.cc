@@ -11,8 +11,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 23", "Compression algorithms",
                   "ACC: 0.0022/1.50/0.99/1.00% for BDI/FPC/C-Pack/DZC; "
                   "with Kagura: 4.74/4.40/4.10/2.41%");

@@ -12,8 +12,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 24", "Cache sizes",
                   "ACC+Kagura gains 1.97%..5.85% across sizes; larger "
                   "benefit with smaller caches");

@@ -11,8 +11,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 25", "Cache associativity",
                   "ACC+Kagura gains 4.74%..5.73% from direct-mapped to "
                   "8-way");

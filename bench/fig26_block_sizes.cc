@@ -11,8 +11,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 26", "Cache block sizes",
                   "good ACC+Kagura performance from 16 B to 64 B");
 

@@ -11,8 +11,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 27", "Main memory sizes",
                   "gains shrink as memory grows (4.22% at 2 MB -> "
                   "3.69% at 32 MB)");

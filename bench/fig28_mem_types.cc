@@ -11,8 +11,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 28", "Main memory types",
                   "promising speedups with all NVMs (4.74% ReRAM, "
                   "4.67% PCM, 4.68% STTRAM)");

@@ -15,8 +15,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 29 / Table III", "Capacitor sizes and leakage",
                   "best gain near the default 4.7 uF; leakage share "
                   "grows with capacitance (0.01% at 4.7 uF, several "

@@ -11,8 +11,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 30", "Power traces",
                   "ACC+Kagura: 4.74% RFHome, 4.58% solar, 4.54% "
                   "thermal");

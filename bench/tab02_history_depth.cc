@@ -11,8 +11,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Table II", "History depth for N_prev estimation",
                   "speedup 4.74/4.09/3.35/2.60% for 1/2/3/4 cycles");
 

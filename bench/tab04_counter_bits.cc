@@ -11,8 +11,9 @@
 using namespace kagura;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Table IV", "Saturating counter width",
                   "speedup 3.98/4.74/4.21% for 1/2/3 bits");
 

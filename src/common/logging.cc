@@ -6,7 +6,7 @@
 namespace kagura
 {
 
-bool informEnabled = true;
+std::atomic<bool> informEnabled{true};
 
 namespace detail
 {

@@ -11,6 +11,7 @@
 #ifndef KAGURA_COMMON_LOGGING_HH
 #define KAGURA_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -32,8 +33,18 @@ std::string vformat(const char *fmt, ...)
 
 } // namespace detail
 
-/** Global verbosity switch; benches silence inform() output. */
-extern bool informEnabled;
+/**
+ * Global verbosity switch; benches silence inform() output.
+ *
+ * Deprecated shim: per-run verbosity now travels through
+ * SimConfig::verbose so concurrent Simulator instances do not share a
+ * mutable flag. The global remains for existing call sites and is
+ * atomic so a bench thread flipping it cannot race a worker reading
+ * it. (Process-wide mutable globals audit: this flag, the memoised
+ * workload cache in core/workload.cc, and suiteRepeats in
+ * sim/experiment.cc -- each documented at its definition.)
+ */
+extern std::atomic<bool> informEnabled;
 
 } // namespace kagura
 

@@ -68,6 +68,30 @@ class OracleLog
     /** Number of distinct addresses with recorded outcomes. */
     std::size_t size() const { return tallies.size(); }
 
+    /**
+     * Visit every tally as (addr, beneficial, useless); unordered --
+     * serialisers wanting a canonical order must sort by address.
+     */
+    template <typename Fn>
+    void
+    forEachTally(Fn &&fn) const
+    {
+        for (const auto &[addr, tally] : tallies)
+            fn(addr, tally.beneficial, tally.useless);
+    }
+
+    /** Insert a pre-counted tally (deserialisation). */
+    void
+    addTally(Addr addr, std::uint32_t beneficial, std::uint32_t useless)
+    {
+        Tally &t = tallies[addr];
+        t.beneficial += beneficial;
+        t.useless += useless;
+    }
+
+    /** Exact content equality (codec round-trip tests). */
+    bool operator==(const OracleLog &other) const = default;
+
     /** Fold another log's tallies into this one (per-cache merge). */
     void
     merge(const OracleLog &other)
@@ -83,6 +107,8 @@ class OracleLog
     {
         std::uint32_t beneficial = 0;
         std::uint32_t useless = 0;
+
+        bool operator==(const Tally &) const = default;
     };
 
     std::unordered_map<Addr, Tally> tallies;

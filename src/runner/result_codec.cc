@@ -1,0 +1,285 @@
+#include "runner/result_codec.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace kagura
+{
+namespace runner
+{
+
+namespace
+{
+
+constexpr char magic[4] = {'K', 'G', 'R', 'B'};
+
+// ---- encoding ------------------------------------------------------
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putDouble(std::string &out, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+void
+putCacheStats(std::string &out, const CacheStats &s)
+{
+    putU64(out, s.accesses);
+    putU64(out, s.hits);
+    putU64(out, s.misses);
+    putU64(out, s.evictions);
+    putU64(out, s.writebacks);
+    putU64(out, s.compressions);
+    putU64(out, s.compactions);
+    putU64(out, s.decompressions);
+    putU64(out, s.compressedHits);
+    putU64(out, s.compressionEnabledHits);
+    putU64(out, s.wastedDecompressions);
+    putU64(out, s.prefetchFills);
+    putU64(out, s.decayWritebacks);
+}
+
+// ---- decoding ------------------------------------------------------
+
+/** Bounds-checked sequential reader over the payload. */
+struct Reader
+{
+    std::string_view bytes;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    bool
+    take(void *dst, std::size_t n)
+    {
+        if (!ok || bytes.size() - pos < n) {
+            ok = false;
+            return false;
+        }
+        std::memcpy(dst, bytes.data() + pos, n);
+        pos += n;
+        return true;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        unsigned char raw[4] = {};
+        if (!take(raw, sizeof(raw)))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(raw[i]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        unsigned char raw[8] = {};
+        if (!take(raw, sizeof(raw)))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        if (!ok || bytes.size() - pos < len) {
+            ok = false;
+            return {};
+        }
+        std::string s(bytes.substr(pos, len));
+        pos += len;
+        return s;
+    }
+};
+
+void
+readCacheStats(Reader &in, CacheStats &s)
+{
+    s.accesses = in.u64();
+    s.hits = in.u64();
+    s.misses = in.u64();
+    s.evictions = in.u64();
+    s.writebacks = in.u64();
+    s.compressions = in.u64();
+    s.compactions = in.u64();
+    s.decompressions = in.u64();
+    s.compressedHits = in.u64();
+    s.compressionEnabledHits = in.u64();
+    s.wastedDecompressions = in.u64();
+    s.prefetchFills = in.u64();
+    s.decayWritebacks = in.u64();
+}
+
+} // namespace
+
+std::string
+encodeResult(const SimResult &r)
+{
+    std::string out;
+    out.reserve(512 + 32 * r.cycles.size());
+    out.append(magic, sizeof(magic));
+    putU32(out, resultFormatVersion);
+
+    putString(out, r.workload);
+    putU64(out, r.wallCycles);
+    putU64(out, r.activeCycles);
+    putU64(out, r.committedInstructions);
+    putU64(out, r.loads);
+    putU64(out, r.stores);
+    putU64(out, r.powerFailures);
+
+    putU64(out, r.cycles.size());
+    for (const PowerCycleRecord &rec : r.cycles) {
+        putU64(out, rec.instructions);
+        putU64(out, rec.loads);
+        putU64(out, rec.stores);
+        putU64(out, rec.activeCycles);
+    }
+
+    putCacheStats(out, r.icache);
+    putCacheStats(out, r.dcache);
+
+    putU32(out, static_cast<std::uint32_t>(EnergyLedger::numCategories));
+    for (std::size_t c = 0; c < EnergyLedger::numCategories; ++c)
+        putDouble(out, r.ledger.total(static_cast<EnergyCategory>(c)));
+
+    putU64(out, r.kagura.modeSwitches);
+    putU64(out, r.kagura.memOpsInRm);
+    putU64(out, r.kagura.rmEvictions);
+    putU64(out, r.kagura.rewards);
+    putU64(out, r.kagura.punishments);
+    putU64(out, r.oracleVetoes);
+
+    // Oracle log, sorted by address for a canonical byte stream.
+    struct Entry
+    {
+        Addr addr;
+        std::uint32_t beneficial;
+        std::uint32_t useless;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(r.oracle.size());
+    r.oracle.forEachTally(
+        [&entries](Addr addr, std::uint32_t beneficial,
+                   std::uint32_t useless) {
+            entries.push_back({addr, beneficial, useless});
+        });
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.addr < b.addr;
+              });
+    putU64(out, entries.size());
+    for (const Entry &e : entries) {
+        putU64(out, e.addr);
+        putU32(out, e.beneficial);
+        putU32(out, e.useless);
+    }
+    return out;
+}
+
+bool
+decodeResult(std::string_view bytes, SimResult &out)
+{
+    Reader in{bytes};
+    char m[4] = {};
+    if (!in.take(m, sizeof(m)) || std::memcmp(m, magic, sizeof(m)) != 0)
+        return false;
+    if (in.u32() != resultFormatVersion)
+        return false;
+
+    SimResult r;
+    r.workload = in.str();
+    r.wallCycles = in.u64();
+    r.activeCycles = in.u64();
+    r.committedInstructions = in.u64();
+    r.loads = in.u64();
+    r.stores = in.u64();
+    r.powerFailures = in.u64();
+
+    const std::uint64_t cycle_count = in.u64();
+    // Sanity bound: each record needs 32 bytes of payload.
+    if (!in.ok || cycle_count > bytes.size() / 32 + 1)
+        return false;
+    r.cycles.resize(cycle_count);
+    for (PowerCycleRecord &rec : r.cycles) {
+        rec.instructions = in.u64();
+        rec.loads = in.u64();
+        rec.stores = in.u64();
+        rec.activeCycles = in.u64();
+    }
+
+    readCacheStats(in, r.icache);
+    readCacheStats(in, r.dcache);
+
+    if (in.u32() != EnergyLedger::numCategories)
+        return false;
+    for (std::size_t c = 0; c < EnergyLedger::numCategories; ++c)
+        r.ledger.add(static_cast<EnergyCategory>(c), in.f64());
+
+    r.kagura.modeSwitches = in.u64();
+    r.kagura.memOpsInRm = in.u64();
+    r.kagura.rmEvictions = in.u64();
+    r.kagura.rewards = in.u64();
+    r.kagura.punishments = in.u64();
+    r.oracleVetoes = in.u64();
+
+    const std::uint64_t tally_count = in.u64();
+    if (!in.ok || tally_count > bytes.size() / 16 + 1)
+        return false;
+    for (std::uint64_t i = 0; i < tally_count; ++i) {
+        const Addr addr = in.u64();
+        const std::uint32_t beneficial = in.u32();
+        const std::uint32_t useless = in.u32();
+        if (!in.ok)
+            return false;
+        r.oracle.addTally(addr, beneficial, useless);
+    }
+
+    // A well-formed payload is consumed exactly.
+    if (!in.ok || in.pos != bytes.size())
+        return false;
+    out = std::move(r);
+    return true;
+}
+
+} // namespace runner
+} // namespace kagura

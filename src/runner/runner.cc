@@ -1,0 +1,145 @@
+#include "runner/runner.hh"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "runner/cache_store.hh"
+#include "runner/config_hash.hh"
+#include "runner/progress.hh"
+#include "runner/result_codec.hh"
+#include "runner/thread_pool.hh"
+#include "sim/experiment.hh"
+
+namespace kagura
+{
+namespace runner
+{
+
+namespace
+{
+
+/** Harness-requested worker count; 0 = auto. Set before a sweep. */
+std::atomic<unsigned> requestedJobs{0};
+
+SimResult
+execute(const SimJob &job)
+{
+    progress().noteSimulation();
+    switch (job.kind) {
+      case SimJob::Kind::Plain: {
+          Simulator sim(job.config);
+          return sim.run();
+      }
+      case SimJob::Kind::IdealAware:
+        return runIdealOnce(job.config, true);
+      case SimJob::Kind::IdealUnaware:
+        return runIdealOnce(job.config, false);
+    }
+    panic("unknown SimJob::Kind %d", static_cast<int>(job.kind));
+}
+
+} // namespace
+
+const char *
+jobKindName(SimJob::Kind kind)
+{
+    switch (kind) {
+      case SimJob::Kind::Plain:
+        return "plain";
+      case SimJob::Kind::IdealAware:
+        return "ideal-aware";
+      case SimJob::Kind::IdealUnaware:
+        return "ideal-unaware";
+    }
+    panic("unknown SimJob::Kind %d", static_cast<int>(kind));
+}
+
+void
+setJobCount(unsigned n)
+{
+    requestedJobs = n;
+}
+
+unsigned
+jobCount()
+{
+    const unsigned n = requestedJobs.load();
+    return n ? n : ThreadPool::defaultThreadCount();
+}
+
+SimResult
+runJob(const SimJob &job)
+{
+    // The ideal kinds carry the *base* config; the phases derive
+    // their own oracle modes inside runIdealOnce.
+    if (job.kind != SimJob::Kind::Plain)
+        kagura_assert(job.config.oracle == OracleMode::Off);
+    // A Replay config points at a caller-owned phase-1 log the cache
+    // key cannot capture; such jobs always simulate.
+    const bool cacheable = job.config.oracleLog == nullptr;
+
+    CacheStore &cache = CacheStore::global();
+    const auto start = std::chrono::steady_clock::now();
+    const auto elapsed = [&start] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    progress().noteStarted();
+    if (cacheable && cache.enabled()) {
+        const std::string key = jobKeyText(job.config,
+                                           jobKindName(job.kind));
+        const std::uint64_t hash = fnv1a64(key);
+        std::string payload;
+        SimResult cached;
+        if (cache.lookup(hash, key, payload) &&
+            decodeResult(payload, cached)) {
+            progress().noteCacheHit();
+            const double seconds = elapsed();
+            progress().noteDone(seconds);
+            liveProgressLine(job.config.describe(), true, seconds);
+            return cached;
+        }
+        progress().noteCacheMiss();
+        SimResult result = execute(job);
+        cache.store(hash, key, encodeResult(result));
+        const double seconds = elapsed();
+        progress().noteDone(seconds);
+        liveProgressLine(job.config.describe(), false, seconds);
+        return result;
+    }
+
+    SimResult result = execute(job);
+    const double seconds = elapsed();
+    progress().noteDone(seconds);
+    liveProgressLine(job.config.describe(), false, seconds);
+    return result;
+}
+
+std::vector<SimResult>
+runJobs(const std::vector<SimJob> &jobs)
+{
+    progress().noteQueued(jobs.size());
+    std::vector<SimResult> results(jobs.size());
+    const unsigned workers = jobCount();
+    if (workers <= 1 || jobs.size() <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            results[i] = runJob(jobs[i]);
+        return results;
+    }
+
+    // Deterministic aggregation: every job owns slot i regardless of
+    // which worker runs it or when it finishes.
+    ThreadPool pool(workers);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        pool.submit([&jobs, &results, i] {
+            results[i] = runJob(jobs[i]);
+        });
+    pool.wait();
+    return results;
+}
+
+} // namespace runner
+} // namespace kagura

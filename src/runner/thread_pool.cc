@@ -1,0 +1,153 @@
+#include "runner/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+namespace runner
+{
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("KAGURA_JOBS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+        warn("ignoring KAGURA_JOBS='%s' (want an integer >= 1)", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : workerCount(threads <= 1 ? 0 : threads)
+{
+    queues.reserve(workerCount);
+    for (unsigned i = 0; i < workerCount; ++i)
+        queues.push_back(std::make_unique<Worker>());
+    workers.reserve(workerCount);
+    for (unsigned i = 0; i < workerCount; ++i)
+        workers.emplace_back(
+            [this, i](std::stop_token stop) { workerLoop(stop, i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    for (std::jthread &worker : workers)
+        worker.request_stop();
+    workCv.notify_all();
+    // ~jthread joins.
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        ++pending;
+    }
+    if (workerCount == 0) {
+        std::lock_guard<std::mutex> lock(inlineMutex);
+        inlineTasks.push_back(std::move(task));
+        return;
+    }
+    std::size_t victim;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        victim = nextVictim;
+        nextVictim = (nextVictim + 1) % workerCount;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues[victim]->mutex);
+        queues[victim]->tasks.push_back(std::move(task));
+    }
+    workCv.notify_one();
+}
+
+std::function<void()>
+ThreadPool::nextTask(unsigned self)
+{
+    // Own queue first, newest work (back).
+    {
+        Worker &own = *queues[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            auto task = std::move(own.tasks.back());
+            own.tasks.pop_back();
+            return task;
+        }
+    }
+    // Steal the oldest work (front) of the first non-empty victim.
+    for (unsigned step = 1; step < workerCount; ++step) {
+        Worker &victim = *queues[(self + step) % workerCount];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            auto task = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            return task;
+        }
+    }
+    return nullptr;
+}
+
+void
+ThreadPool::workerLoop(std::stop_token stop, unsigned self)
+{
+    for (;;) {
+        std::function<void()> task = nextTask(self);
+        if (!task) {
+            std::unique_lock<std::mutex> lock(stateMutex);
+            const bool alive = workCv.wait(lock, stop, [this, self] {
+                for (unsigned i = 0; i < workerCount; ++i) {
+                    std::lock_guard<std::mutex> q(queues[i]->mutex);
+                    if (!queues[i]->tasks.empty())
+                        return true;
+                }
+                return false;
+            });
+            if (!alive)
+                return; // stop requested and nothing queued
+            continue;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(stateMutex);
+            --pending;
+            if (pending == 0)
+                idleCv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    if (workerCount == 0) {
+        // Inline mode: drain the backlog on the calling thread.
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::lock_guard<std::mutex> lock(inlineMutex);
+                if (inlineTasks.empty())
+                    break;
+                task = std::move(inlineTasks.front());
+                inlineTasks.pop_front();
+            }
+            task();
+            std::lock_guard<std::mutex> lock(stateMutex);
+            --pending;
+        }
+        std::lock_guard<std::mutex> lock(stateMutex);
+        kagura_assert(pending == 0);
+        return;
+    }
+    std::unique_lock<std::mutex> lock(stateMutex);
+    idleCv.wait(lock, [this] { return pending == 0; });
+}
+
+} // namespace runner
+} // namespace kagura

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A small work-stealing thread pool for simulation jobs.
+ *
+ * Each worker owns a deque: it pushes and pops work at the back
+ * (LIFO, cache-warm) and victims are robbed from the front (FIFO, the
+ * oldest -- and for our job mix, largest-remaining -- work moves).
+ * Submissions from outside the pool are distributed round-robin so a
+ * suite's jobs start spread across workers instead of all on one
+ * victim. Determinism is the *caller's* contract: jobs write results
+ * into pre-allocated slots, so completion order never matters.
+ *
+ * Sizing: the KAGURA_JOBS environment variable, else
+ * std::thread::hardware_concurrency(). A pool of one thread executes
+ * submissions inline at wait() time -- no thread is spawned -- which
+ * keeps `--jobs 1` byte-for-byte reproducible under a debugger.
+ */
+
+#ifndef KAGURA_RUNNER_THREAD_POOL_HH
+#define KAGURA_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kagura
+{
+namespace runner
+{
+
+/** Work-stealing pool; construct per sweep or reuse process-wide. */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 or 1 means run inline. */
+    explicit ThreadPool(unsigned threads);
+
+    /** Joins workers; pending tasks are finished first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task (thread-safe). */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /** Number of worker threads (0 = inline mode). */
+    unsigned threadCount() const { return workerCount; }
+
+    /** KAGURA_JOBS env if set (>=1), else hardware_concurrency. */
+    static unsigned defaultThreadCount();
+
+  private:
+    struct Worker
+    {
+        std::deque<std::function<void()>> tasks;
+        std::mutex mutex;
+    };
+
+    void workerLoop(std::stop_token stop, unsigned self);
+
+    /** Pop own back, else steal a victim's front; empty when idle. */
+    std::function<void()> nextTask(unsigned self);
+
+    unsigned workerCount;
+    std::vector<std::unique_ptr<Worker>> queues;
+
+    /** Inline-mode backlog (workerCount == 0). */
+    std::deque<std::function<void()>> inlineTasks;
+    std::mutex inlineMutex;
+
+    std::mutex stateMutex;
+    std::condition_variable_any workCv; ///< wakes idle workers
+    std::condition_variable idleCv;     ///< wakes wait()ers
+    std::size_t pending = 0;            ///< submitted, not yet finished
+    std::size_t nextVictim = 0;         ///< round-robin submit target
+
+    /** Last member: workers must die before the queues above. */
+    std::vector<std::jthread> workers;
+};
+
+} // namespace runner
+} // namespace kagura
+
+#endif // KAGURA_RUNNER_THREAD_POOL_HH

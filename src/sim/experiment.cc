@@ -1,12 +1,39 @@
 #include "sim/experiment.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "runner/runner.hh"
 
 namespace kagura
 {
 
-unsigned suiteRepeats = 5;
+namespace
+{
+
+/** Compiled-in default unless KAGURA_REPEATS overrides it. */
+unsigned
+initialSuiteRepeats()
+{
+    if (const char *env = std::getenv("KAGURA_REPEATS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+        warn("ignoring KAGURA_REPEATS='%s' (want an integer >= 1)",
+             env);
+    }
+    return 5;
+}
+
+} // namespace
+
+// Process-wide mutable state: read on the main thread when a suite's
+// job list is built, never from runner workers; benches may assign it
+// before their sweeps (the KAGURA_REPEATS env is applied once here,
+// at static initialisation, so cheap 1-seed smoke sweeps need no
+// recompile).
+unsigned suiteRepeats = initialSuiteRepeats();
 
 std::uint64_t
 suiteSeed(unsigned index)
@@ -50,33 +77,58 @@ accKaguraConfig(const std::string &workload)
     return cfg;
 }
 
+/**
+ * Translate the suite-runner oracle convention into a runner job:
+ * OracleMode::Record marks the intermittence-aware ideal and Replay
+ * the infinite-energy phase-1 variant; both run two-phase as a single
+ * job carrying the oracle-free base config.
+ */
+static runner::SimJob
+suiteJob(SimConfig cfg)
+{
+    runner::SimJob job;
+    if (cfg.oracle != OracleMode::Off) {
+        job.kind = cfg.oracle == OracleMode::Record
+                       ? runner::SimJob::Kind::IdealAware
+                       : runner::SimJob::Kind::IdealUnaware;
+        cfg.oracle = OracleMode::Off;
+        cfg.oracleLog = nullptr;
+    }
+    job.config = std::move(cfg);
+    return job;
+}
+
 SuiteResult
 runSuite(const std::string &label,
          const std::function<SimConfig(const std::string &)> &make,
          const std::vector<std::string> &apps)
 {
+    // Build the full (app x seed) job list up front, then let the
+    // runner execute it in parallel. Aggregation is index-based --
+    // job (a, rep) lands in apps[a].runs[rep] -- so the SuiteResult
+    // is bit-identical whatever the worker count.
+    const unsigned repeats = suiteRepeats;
+    std::vector<runner::SimJob> jobs;
+    jobs.reserve(apps.size() * repeats);
+    for (const std::string &app : apps) {
+        for (unsigned rep = 0; rep < repeats; ++rep) {
+            SimConfig cfg = make(app);
+            cfg.traceSeed = suiteSeed(rep);
+            jobs.push_back(suiteJob(std::move(cfg)));
+        }
+    }
+    std::vector<SimResult> results = runner::runJobs(jobs);
+
     SuiteResult suite;
     suite.label = label;
+    suite.apps.reserve(apps.size());
+    std::size_t next = 0;
     for (const std::string &app : apps) {
         AppResult entry;
         entry.app = app;
-        for (unsigned rep = 0; rep < suiteRepeats; ++rep) {
-            SimConfig cfg = make(app);
-            cfg.traceSeed = suiteSeed(rep);
-            if (cfg.oracle == OracleMode::Off) {
-                Simulator sim(cfg);
-                entry.runs.push_back(sim.run());
-            } else {
-                // Oracle configs route through the two-phase runner;
-                // OracleMode::Record marks "intermittence-aware" and
-                // Replay marks the infinite-energy phase-1 variant.
-                const bool aware = cfg.oracle == OracleMode::Record;
-                SimConfig base = cfg;
-                base.oracle = OracleMode::Off;
-                base.oracleLog = nullptr;
-                entry.runs.push_back(runIdealOnce(base, aware));
-            }
-        }
+        entry.runs.reserve(repeats);
+        for (unsigned rep = 0; rep < repeats; ++rep)
+            entry.runs.push_back(std::move(results[next++]));
         suite.apps.push_back(std::move(entry));
     }
     return suite;
@@ -103,13 +155,19 @@ runIdealOnce(SimConfig base, bool intermittence_aware)
 std::vector<SimResult>
 runIdeal(SimConfig base, bool intermittence_aware)
 {
-    std::vector<SimResult> out;
-    for (unsigned rep = 0; rep < suiteRepeats; ++rep) {
-        SimConfig cfg = base;
-        cfg.traceSeed = suiteSeed(rep);
-        out.push_back(runIdealOnce(cfg, intermittence_aware));
+    const unsigned repeats = suiteRepeats;
+    std::vector<runner::SimJob> jobs;
+    jobs.reserve(repeats);
+    for (unsigned rep = 0; rep < repeats; ++rep) {
+        runner::SimJob job;
+        job.kind = intermittence_aware
+                       ? runner::SimJob::Kind::IdealAware
+                       : runner::SimJob::Kind::IdealUnaware;
+        job.config = base;
+        job.config.traceSeed = suiteSeed(rep);
+        jobs.push_back(std::move(job));
     }
-    return out;
+    return runner::runJobs(jobs);
 }
 
 double

@@ -45,7 +45,12 @@ struct SuiteResult
     const AppResult &forApp(const std::string &app) const;
 };
 
-/** Number of trace seeds each configuration is averaged over. */
+/**
+ * Number of trace seeds each configuration is averaged over.
+ * Initialised from the KAGURA_REPEATS environment variable when set
+ * (smoke sweeps export KAGURA_REPEATS=1); read when a suite's job
+ * list is built, on the calling thread only.
+ */
 extern unsigned suiteRepeats;
 
 /** The i-th trace seed used by the suite runner. */
@@ -63,6 +68,9 @@ SimConfig accKaguraConfig(const std::string &workload);
 /**
  * Run @p make(app) for every app in @p apps (default: the full
  * 20-application suite), once per trace seed, and collect the results.
+ * Jobs execute on the src/runner subsystem: in parallel across
+ * runner::jobCount() workers and memoised in the persistent result
+ * cache, with the SuiteResult bit-identical at any worker count.
  */
 SuiteResult
 runSuite(const std::string &label,

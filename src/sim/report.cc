@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdarg>
 
+#include "runner/result_codec.hh"
+
 namespace kagura
 {
 
@@ -110,6 +112,12 @@ writeJson(const SimResult &result, std::FILE *out, bool include_cycles)
     const std::string json = toJson(result, include_cycles);
     std::fwrite(json.data(), 1, json.size(), out);
     std::fputc('\n', out);
+}
+
+bool
+exactlyEqual(const SimResult &a, const SimResult &b)
+{
+    return runner::encodeResult(a) == runner::encodeResult(b);
 }
 
 } // namespace kagura

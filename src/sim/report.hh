@@ -38,6 +38,16 @@ void writeJson(const SimResult &result, std::FILE *out,
 /** As writeJson, but into a string (tests; embedding). */
 std::string toJson(const SimResult &result, bool include_cycles = false);
 
+/**
+ * Bit-exact equality of two results, including every counter, every
+ * per-cycle record, the IEEE-754 bit patterns of the energy buckets,
+ * and the oracle log. Implemented by comparing the canonical binary
+ * encodings (runner/result_codec.hh), so "equal" here is precisely
+ * "indistinguishable to the result cache" -- the property the
+ * runner's determinism tests assert across worker counts.
+ */
+bool exactlyEqual(const SimResult &a, const SimResult &b);
+
 } // namespace kagura
 
 #endif // KAGURA_SIM_REPORT_HH

@@ -99,8 +99,27 @@ struct SimConfig
     /** Phase-1 log for OracleMode::Replay (owned by the caller). */
     const OracleLog *oracleLog = nullptr;
 
+    /**
+     * Per-run verbosity: emit inform() status from this run. Replaces
+     * the global informEnabled flag for code running under the
+     * parallel runner (the global remains as a deprecated master
+     * switch; output appears only when both are on).
+     */
+    bool verbose = false;
+
     /** One-line description for reports. */
     std::string describe() const;
+
+    /**
+     * Canonical serialization for hashing/caching: every
+     * simulation-relevant field as one `key=value` line, in a fixed
+     * order, with doubles printed round-trip exactly (%.17g). Two
+     * configs produce the same key iff a Simulator would behave
+     * identically under them. Excluded by design: `verbose` (output
+     * only) and `oracleLog` (runtime pointer; cacheable jobs carry
+     * their oracle phase in the runner's job-kind tag instead).
+     */
+    std::string canonicalKey() const;
 };
 
 } // namespace kagura

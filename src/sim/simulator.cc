@@ -412,6 +412,14 @@ Simulator::run()
         result.oracle = ichain.recorder->log();
         result.oracle.merge(dchain.recorder->log());
     }
+    if (cfg.verbose)
+        inform("run %s: %llu instrs, %llu wall cycles, %llu power "
+               "failures",
+               cfg.describe().c_str(),
+               static_cast<unsigned long long>(
+                   result.committedInstructions),
+               static_cast<unsigned long long>(result.wallCycles),
+               static_cast<unsigned long long>(result.powerFailures));
     return result;
 }
 

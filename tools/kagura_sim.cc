@@ -20,6 +20,9 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "runner/cache_store.hh"
+#include "runner/progress.hh"
+#include "runner/runner.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 
@@ -65,12 +68,20 @@ usage()
         "  --prefetch            enable IPEX prefetching\n"
         "  --infinite-energy     disable the power subsystem\n"
         "\n"
+        "execution:\n"
+        "  --jobs N              runner worker threads (default:\n"
+        "                        KAGURA_JOBS env, else all cores)\n"
+        "  --no-cache            skip the persistent result cache\n"
+        "                        ($KAGURA_CACHE_DIR, default\n"
+        "                        .kagura-cache/; KAGURA_CACHE=off)\n"
+        "\n"
         "output:\n"
         "  --baseline            also run the no-compression baseline\n"
         "                        and report speedup/energy deltas\n"
         "  --json                emit the result as JSON instead\n"
         "  --json-cycles         include per-power-cycle records\n"
-        "  --quiet               suppress the banner\n");
+        "  --quiet               suppress the banner\n"
+        "  --verbose             per-run inform() status output\n");
 }
 
 [[noreturn]] void
@@ -284,6 +295,14 @@ main(int argc, char **argv)
             cfg.enablePrefetch = true;
         } else if (is("--infinite-energy")) {
             cfg.infiniteEnergy = true;
+        } else if (is("--jobs")) {
+            const char *v = nextArg(argc, argv, i);
+            const long n = std::strtol(v, nullptr, 10);
+            if (n < 1)
+                badValue("--jobs", v);
+            runner::setJobCount(static_cast<unsigned>(n));
+        } else if (is("--no-cache")) {
+            runner::CacheStore::global().setEnabled(false);
         } else if (is("--json")) {
             json = true;
         } else if (is("--json-cycles")) {
@@ -293,6 +312,8 @@ main(int argc, char **argv)
             run_baseline = true;
         } else if (is("--quiet")) {
             quiet = true;
+        } else if (is("--verbose")) {
+            cfg.verbose = true;
         } else {
             fatal("unknown flag '%s' (see --help)", arg);
         }
@@ -302,28 +323,30 @@ main(int argc, char **argv)
     if (!quiet && !json)
         std::printf("kagura_sim: %s\n", cfg.describe().c_str());
 
-    SimResult result;
-    if (ideal) {
-        result = runIdealOnce(cfg, true);
-    } else {
-        Simulator sim(cfg);
-        result = sim.run();
-    }
+    // Route through the runner so repeated CLI invocations of the
+    // same configuration hit the persistent result cache.
+    runner::SimJob job;
+    job.config = cfg;
+    if (ideal)
+        job.kind = runner::SimJob::Kind::IdealAware;
+    const SimResult result = runner::runJob(job);
     if (json)
         writeJson(result, stdout, json_cycles);
     else
         printReport(result);
 
     if (run_baseline && !json) {
-        SimConfig base = cfg;
-        base.governor = GovernorKind::None;
-        base.enableKagura = false;
-        base.oracle = OracleMode::Off;
-        Simulator base_sim(base);
-        const SimResult b = base_sim.run();
+        runner::SimJob base;
+        base.config = cfg;
+        base.config.governor = GovernorKind::None;
+        base.config.enableKagura = false;
+        base.config.oracle = OracleMode::Off;
+        const SimResult b = runner::runJob(base);
         std::printf("\nvs no-compression baseline:\n");
         std::printf("  speedup : %+.2f%%\n", speedupPct(result, b));
         std::printf("  energy  : %+.2f%%\n", energyDeltaPct(result, b));
     }
+    if (!quiet && !json)
+        runner::printSummary(stdout, runner::jobCount());
     return 0;
 }

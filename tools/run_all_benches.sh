@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Build and run every bench binary as a cheap smoke sweep:
+# KAGURA_REPEATS=1 (one trace seed per configuration) across N runner
+# workers, sharing one persistent result cache. Prints one telemetry
+# line per bench plus the aggregate wall time and cache hit rate --
+# the perf-trajectory artifact for future BENCH_*.json captures.
+#
+# Usage:
+#   tools/run_all_benches.sh            # all cores, repo-root build/
+#   JOBS=8 tools/run_all_benches.sh     # fixed worker count
+#   KAGURA_REPEATS=5 tools/run_all_benches.sh   # full-fidelity sweep
+#   BUILD_DIR=/tmp/b tools/run_all_benches.sh   # out-of-tree build
+#
+# A second invocation with a warm .kagura-cache should report
+# sims=0 / hit_rate=100% and finish in seconds.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+JOBS="${JOBS:-$(nproc)}"
+export KAGURA_REPEATS="${KAGURA_REPEATS:-1}"
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" -j >/dev/null
+
+total_jobs=0
+total_sims=0
+total_hits=0
+total_lookups=0
+failed=0
+sweep_start=$(date +%s.%N)
+
+for bench in "$BUILD"/bench/fig* "$BUILD"/bench/tab* \
+             "$BUILD"/bench/abl* "$BUILD"/bench/ext*; do
+    [ -x "$bench" ] || continue
+    name=$(basename "$bench")
+    bench_start=$(date +%s.%N)
+    if ! out=$("$bench" --jobs "$JOBS" 2>&1); then
+        echo "FAIL  $name"
+        failed=1
+        continue
+    fi
+    bench_end=$(date +%s.%N)
+    line=$(grep -F '[runner]' <<<"$out" | tail -1)
+    secs=$(awk -v a="$bench_start" -v b="$bench_end" \
+               'BEGIN { printf "%.1f", b - a }')
+    printf '%-28s %6ss  %s\n' "$name" "$secs" "${line#\[runner\] }"
+
+    # [runner] jobs=J sims=S cache_hits=H/L hit_rate=... threads=T
+    jobs=$(sed -n 's/.*jobs=\([0-9]*\).*/\1/p' <<<"$line")
+    sims=$(sed -n 's/.*sims=\([0-9]*\).*/\1/p' <<<"$line")
+    hits=$(sed -n 's/.*cache_hits=\([0-9]*\)\/.*/\1/p' <<<"$line")
+    lookups=$(sed -n 's/.*cache_hits=[0-9]*\/\([0-9]*\).*/\1/p' \
+                  <<<"$line")
+    total_jobs=$((total_jobs + ${jobs:-0}))
+    total_sims=$((total_sims + ${sims:-0}))
+    total_hits=$((total_hits + ${hits:-0}))
+    total_lookups=$((total_lookups + ${lookups:-0}))
+done
+
+sweep_end=$(date +%s.%N)
+awk -v a="$sweep_start" -v b="$sweep_end" -v jobs="$total_jobs" \
+    -v sims="$total_sims" -v hits="$total_hits" \
+    -v lookups="$total_lookups" -v threads="$JOBS" \
+    -v repeats="$KAGURA_REPEATS" 'BEGIN {
+    rate = lookups ? 100.0 * hits / lookups : 0.0
+    printf "\nTOTAL  wall=%.1fs  jobs=%d  sims=%d  ", b - a, jobs, sims
+    printf "cache_hits=%d/%d (%.1f%%)  threads=%s  repeats=%s\n", \
+        hits, lookups, rate, threads, repeats
+}'
+
+exit "$failed"
