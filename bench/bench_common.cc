@@ -1,10 +1,13 @@
 #include "bench_common.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "metrics/registry.hh"
+#include "metrics/sink.hh"
 #include "runner/cache_store.hh"
 #include "runner/progress.hh"
 #include "runner/runner.hh"
@@ -17,10 +20,83 @@ namespace bench
 namespace
 {
 
+/**
+ * Final telemetry, registered atexit so it lands after the tables:
+ * the human-readable [runner] line, and -- when a metrics sink is
+ * attached -- the runner headlines plus the full global registry as
+ * schema-stable records.
+ */
 void
 printTelemetry()
 {
     runner::printSummary(stdout, runner::jobCount());
+    metrics::Sink *sink = metrics::defaultSink();
+    if (!sink)
+        return;
+    const runner::TelemetrySnapshot t = runner::progress().snapshot();
+    metrics::emitHeadline("runner/jobs_done",
+                          static_cast<double>(t.jobsDone));
+    metrics::emitHeadline("runner/simulations",
+                          static_cast<double>(t.simulations));
+    metrics::emitHeadline("runner/cache_hits",
+                          static_cast<double>(t.cacheHits));
+    metrics::emitHeadline("runner/cache_misses",
+                          static_cast<double>(t.cacheMisses));
+    metrics::emitHeadline("runner/cache_hit_rate", t.hitRate());
+    metrics::emitHeadline("runner/job_seconds", t.jobSeconds);
+    metrics::emitHeadline("runner/threads",
+                          static_cast<double>(runner::jobCount()));
+    metrics::emitRegistry(metrics::Registry::global());
+    sink->flush();
+}
+
+/** Emit one per-app table cell as a labelled gauge record. */
+void
+emitCell(const char *name, const std::string &app,
+         const std::string &config, double value)
+{
+    metrics::Record rec;
+    rec.kind = metrics::RecordKind::Gauge;
+    rec.name = name;
+    rec.labels = {{"app", app}, {"config", config}};
+    rec.value = value;
+    metrics::emitRecord(std::move(rec));
+}
+
+/**
+ * Geometric-mean wall-time speedup ratio of @p cfg over @p baseline
+ * across the suite (1.0 = parity), from the seed-paired per-app mean
+ * speedups the tables print.
+ */
+double
+speedupGeomean(const SuiteResult &cfg, const SuiteResult &baseline)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (const AppResult &entry : baseline.apps) {
+        const double ratio =
+            1.0 + speedupPct(cfg.forApp(entry.app), entry) / 100.0;
+        if (ratio <= 0.0)
+            continue; // degenerate; keep the geomean defined
+        log_sum += std::log(ratio);
+        ++n;
+    }
+    return n ? std::exp(log_sum / static_cast<double>(n)) : 1.0;
+}
+
+/** Mean-over-runs total energy (pJ) summed over a suite's apps. */
+double
+suiteEnergyPj(const SuiteResult &suite)
+{
+    double total = 0.0;
+    for (const AppResult &entry : suite.apps) {
+        double app_sum = 0.0;
+        for (const SimResult &run : entry.runs)
+            app_sum += run.ledger.grandTotal();
+        if (!entry.runs.empty())
+            total += app_sum / static_cast<double>(entry.runs.size());
+    }
+    return total;
 }
 
 } // namespace
@@ -28,6 +104,7 @@ printTelemetry()
 void
 init(int argc, char **argv)
 {
+    std::string metrics_out;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         auto value = [&]() -> const char * {
@@ -47,17 +124,33 @@ init(int argc, char **argv)
             suiteRepeats = static_cast<unsigned>(n);
         } else if (std::strcmp(arg, "--no-cache") == 0) {
             runner::CacheStore::global().setEnabled(false);
+        } else if (std::strcmp(arg, "--metrics-out") == 0) {
+            metrics_out = value();
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             std::printf("usage: %s [--jobs N] [--repeats N] "
-                        "[--no-cache]\n",
+                        "[--no-cache] [--metrics-out PATH]\n",
                         argv[0]);
             std::exit(0);
         } else {
             fatal("unknown flag '%s' (bench binaries take --jobs N, "
-                  "--repeats N, --no-cache)",
+                  "--repeats N, --no-cache, --metrics-out PATH)",
                   arg);
         }
+    }
+    if (metrics_out.empty()) {
+        if (const char *env = std::getenv("KAGURA_METRICS_OUT"))
+            metrics_out = env;
+    }
+    if (!metrics_out.empty()) {
+        auto sink = metrics::openSink(metrics_out);
+        if (!sink)
+            fatal("cannot open metrics output '%s'",
+                  metrics_out.c_str());
+        // Every record from this process carries the bench identity.
+        const char *slash = std::strrchr(argv[0], '/');
+        metrics::defaultLabels()["bench"] = slash ? slash + 1 : argv[0];
+        metrics::setDefaultSink(std::move(sink));
     }
     std::atexit(printTelemetry);
 }
@@ -98,6 +191,20 @@ printSpeedupTable(const SuiteResult &baseline,
         avg.push_back(TextTable::pct(meanSpeedupPct(cfg, baseline)));
     table.addRow(avg);
     table.print();
+
+    if (!metrics::defaultSink())
+        return;
+    for (const SuiteResult &cfg : configs) {
+        for (const AppResult &entry : baseline.apps)
+            emitCell("bench/speedup_pct", entry.app, cfg.label,
+                     speedupPct(cfg.forApp(entry.app), entry));
+        metrics::emitHeadline("bench/speedup_avg_pct",
+                              meanSpeedupPct(cfg, baseline),
+                              {{"config", cfg.label}});
+        metrics::emitHeadline("bench/speedup_geomean",
+                              speedupGeomean(cfg, baseline),
+                              {{"config", cfg.label}});
+    }
 }
 
 void
@@ -122,6 +229,23 @@ printEnergyTable(const SuiteResult &baseline,
         avg.push_back(TextTable::pct(meanEnergyDeltaPct(cfg, baseline)));
     table.addRow(avg);
     table.print();
+
+    if (!metrics::defaultSink())
+        return;
+    metrics::emitHeadline("bench/energy_total_pj",
+                          suiteEnergyPj(baseline),
+                          {{"config", baseline.label}});
+    for (const SuiteResult &cfg : configs) {
+        for (const AppResult &entry : baseline.apps)
+            emitCell("bench/energy_delta_pct", entry.app, cfg.label,
+                     energyDeltaPct(cfg.forApp(entry.app), entry));
+        metrics::emitHeadline("bench/energy_delta_avg_pct",
+                              meanEnergyDeltaPct(cfg, baseline),
+                              {{"config", cfg.label}});
+        metrics::emitHeadline("bench/energy_total_pj",
+                              suiteEnergyPj(cfg),
+                              {{"config", cfg.label}});
+    }
 }
 
 const std::vector<std::string> &

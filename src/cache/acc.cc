@@ -1,11 +1,25 @@
 #include "cache/acc.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 
 namespace kagura
 {
+
+void
+AccController::recordMetrics(metrics::MetricSet &set,
+                             std::string_view prefix) const
+{
+    std::string name(prefix);
+    name += "/gcp";
+    set.gauge(name).set(static_cast<double>(gcp));
+    name = prefix;
+    name += "/gcp_positive";
+    set.gauge(name).set(gcp > 0 ? 1.0 : 0.0);
+}
 
 AccController::AccController(const AccConfig &config)
     : cfg(config), gcp(config.initialValue)

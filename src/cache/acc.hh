@@ -13,8 +13,10 @@
 #define KAGURA_CACHE_ACC_HH
 
 #include <cstdint>
+#include <string_view>
 
 #include "cache/governor.hh"
+#include "metrics/fwd.hh"
 
 namespace kagura
 {
@@ -88,6 +90,14 @@ class AccController : public CompressionGovernor
 
     /** Current GCP value (tests, introspection). */
     std::int64_t predictor() const { return gcp; }
+
+    /**
+     * Export the predictor state into @p set: "<prefix>/gcp" (the
+     * end-of-run counter value) plus "<prefix>/gcp_positive" (1 when
+     * compression would currently be enabled).
+     */
+    void recordMetrics(metrics::MetricSet &set,
+                       std::string_view prefix) const;
 
     /**
      * Reset to the initial value (tests). At run time the GCP rides

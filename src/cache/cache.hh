@@ -22,6 +22,7 @@
 #define KAGURA_CACHE_CACHE_HH
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "cache/decay.hh"
@@ -31,6 +32,7 @@
 #include "common/types.hh"
 #include "compress/compressor.hh"
 #include "mem/nvm.hh"
+#include "metrics/fwd.hh"
 
 namespace kagura
 {
@@ -115,6 +117,14 @@ struct CacheStats
                               static_cast<double>(accesses)
                         : 0.0;
     }
+
+    /**
+     * Export every counter (plus the derived miss rate) into @p set
+     * under "<prefix>/..." names. Intended for a fresh per-run
+     * MetricSet: counters record absolute end-of-run values.
+     */
+    void recordMetrics(metrics::MetricSet &set,
+                       std::string_view prefix) const;
 };
 
 /** The compressed cache. */

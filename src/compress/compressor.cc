@@ -1,6 +1,9 @@
 #include "compress/compressor.hh"
 
+#include <string>
+
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 #include "compress/bdi.hh"
 #include "compress/bpc.hh"
 #include "compress/cpack.hh"
@@ -29,6 +32,25 @@ compressorKindName(CompressorKind kind)
         return "FVC";
     }
     panic("unknown CompressorKind %d", static_cast<int>(kind));
+}
+
+void
+Compressor::recordMetrics(metrics::MetricSet &set,
+                          std::string_view prefix) const
+{
+    const CompressionCosts cost = costs();
+    const auto leaf = [&](std::string_view name, double value) {
+        std::string full(prefix);
+        full += '/';
+        full += name;
+        set.gauge(full).set(value);
+    };
+    leaf("compress_energy_pj", cost.compressEnergy);
+    leaf("decompress_energy_pj", cost.decompressEnergy);
+    leaf("compress_latency_cycles",
+         static_cast<double>(cost.compressLatency));
+    leaf("decompress_latency_cycles",
+         static_cast<double>(cost.decompressLatency));
 }
 
 std::unique_ptr<Compressor>

@@ -14,10 +14,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hh"
 #include "energy/energy_model.hh"
+#include "metrics/fwd.hh"
 
 namespace kagura
 {
@@ -92,6 +94,14 @@ class Compressor
         const std::uint64_t compressed = compress(block).sizeBytes();
         return compressed < raw ? compressed : raw;
     }
+
+    /**
+     * Export this algorithm's identity and cost model into @p set as
+     * "<prefix>/..." gauges, with an "algorithm" label on none (the
+     * caller encodes identity in the prefix or harness labels).
+     */
+    void recordMetrics(metrics::MetricSet &set,
+                       std::string_view prefix) const;
 };
 
 /** Build a compressor of the given kind. */

@@ -10,8 +10,10 @@
 
 #include <array>
 #include <cstddef>
+#include <string_view>
 
 #include "common/types.hh"
+#include "metrics/fwd.hh"
 
 namespace kagura
 {
@@ -30,6 +32,9 @@ enum class EnergyCategory : std::size_t
 
 /** Short label for a category (Fig. 16 legend). */
 const char *energyCategoryName(EnergyCategory cat);
+
+/** Lowercase metric-name slug for a category (e.g. "cache_other"). */
+const char *energyCategorySlug(EnergyCategory cat);
 
 /** Accumulates energy per category. */
 class EnergyLedger
@@ -64,6 +69,13 @@ class EnergyLedger
 
     /** Zero every bucket. */
     void reset() { buckets.fill(0.0); }
+
+    /**
+     * Export per-category totals (picojoules) plus the grand total
+     * into @p set as "<prefix>/<category>_pj" gauges.
+     */
+    void recordMetrics(metrics::MetricSet &set,
+                       std::string_view prefix) const;
 
   private:
     std::array<PicoJoules, numCategories> buckets{};

@@ -22,9 +22,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <string_view>
 
 #include "cache/governor.hh"
 #include "kagura/adapt_policy.hh"
+#include "metrics/fwd.hh"
 
 namespace kagura
 {
@@ -95,6 +97,14 @@ struct KaguraStats
     std::uint64_t rewards = 0;
     /** Punishment counter decrements. */
     std::uint64_t punishments = 0;
+
+    /**
+     * Export every counter into @p set under "<prefix>/..." names.
+     * Intended for a fresh per-run MetricSet: counters record
+     * absolute end-of-run values.
+     */
+    void recordMetrics(metrics::MetricSet &set,
+                       std::string_view prefix) const;
 };
 
 /** The Kagura controller; wraps an inner governor (typically ACC). */

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Forward declarations for the metrics subsystem, so component
+ * headers (cache, energy, kagura...) can declare recordMetrics()
+ * hooks without pulling in the full registry machinery.
+ */
+
+#ifndef KAGURA_METRICS_FWD_HH
+#define KAGURA_METRICS_FWD_HH
+
+namespace kagura
+{
+namespace metrics
+{
+
+class Registry;
+class Sink;
+struct Record;
+
+/** A MetricSet is a Registry scoped to one simulation/export unit. */
+using MetricSet = Registry;
+
+} // namespace metrics
+} // namespace kagura
+
+#endif // KAGURA_METRICS_FWD_HH

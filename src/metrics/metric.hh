@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Typed metric instruments: monotonic counters, last-write gauges,
+ * fixed-bucket histograms, and wall-clock timers.
+ *
+ * Instruments are built to be near-zero-cost on the update path when
+ * nobody is exporting them: every update is a relaxed atomic
+ * read-modify-write -- no locks, no allocation, no formatting. All
+ * cost (string building, JSON encoding) is paid at snapshot/export
+ * time. Updates from concurrent runner workers are safe; a snapshot
+ * taken mid-update may mix counts that are one sample apart (count vs.
+ * sum), which is fine for telemetry and irrelevant once a run has
+ * quiesced.
+ *
+ * Histograms are intended for non-negative samples (durations,
+ * per-cycle instruction counts); negative samples clamp into the
+ * first bucket.
+ */
+
+#ifndef KAGURA_METRICS_METRIC_HH
+#define KAGURA_METRICS_METRIC_HH
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace kagura
+{
+namespace metrics
+{
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    /** Add @p n events (relaxed; safe from any thread). */
+    void
+    add(std::uint64_t n = 1)
+    {
+        value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Current total. */
+    std::uint64_t
+    get() const
+    {
+        return value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value{0};
+};
+
+/** Last-write-wins scalar (levels: a GCP value, a worker count...). */
+class Gauge
+{
+  public:
+    /** Record the current level (relaxed; safe from any thread). */
+    void
+    set(double v)
+    {
+        value.store(v, std::memory_order_relaxed);
+    }
+
+    /** Most recently recorded level. */
+    double
+    get() const
+    {
+        return value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value{0.0};
+};
+
+/**
+ * Fixed-bucket histogram: @p upper_bounds names the inclusive upper
+ * edge of each bucket, in strictly increasing order; one implicit
+ * overflow bucket catches everything above the last bound. Bucket
+ * counts are independent relaxed atomics, so concurrent observe()
+ * calls never lose samples.
+ */
+class FixedHistogram
+{
+  public:
+    explicit FixedHistogram(std::vector<double> upper_bounds)
+        : ub(std::move(upper_bounds)),
+          counts(ub.size() + 1) // + overflow
+    {
+    }
+
+    /** Fold one sample into its bucket. */
+    void
+    observe(double sample)
+    {
+        std::size_t i = 0;
+        while (i < ub.size() && sample > ub[i])
+            ++i;
+        counts[i].fetch_add(1, std::memory_order_relaxed);
+        n.fetch_add(1, std::memory_order_relaxed);
+        total.fetch_add(sample, std::memory_order_relaxed);
+    }
+
+    /** Bucket count including the overflow bucket. */
+    std::size_t buckets() const { return counts.size(); }
+
+    /** Finite upper bounds (excludes the overflow bucket). */
+    const std::vector<double> &bounds() const { return ub; }
+
+    /** Samples in bucket @p i (the last index is the overflow). */
+    std::uint64_t
+    bucketCount(std::size_t i) const
+    {
+        return counts.at(i).load(std::memory_order_relaxed);
+    }
+
+    /** Total number of samples. */
+    std::uint64_t
+    count() const
+    {
+        return n.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of all samples. */
+    double
+    sum() const
+    {
+        return total.load(std::memory_order_relaxed);
+    }
+
+    /** Arithmetic mean (0 when empty). */
+    double
+    mean() const
+    {
+        const std::uint64_t c = count();
+        return c ? sum() / static_cast<double>(c) : 0.0;
+    }
+
+    /**
+     * Estimated @p p-quantile (p in [0,1]) by linear interpolation
+     * within the containing bucket; bucket 0's lower edge is taken as
+     * 0 and the overflow bucket reports the last finite bound. 0 when
+     * empty.
+     */
+    double
+    percentile(double p) const
+    {
+        const std::uint64_t c = count();
+        if (c == 0 || ub.empty())
+            return 0.0;
+        p = std::clamp(p, 0.0, 1.0);
+        const double target = p * static_cast<double>(c);
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            const std::uint64_t in_bucket = bucketCount(i);
+            if (in_bucket > 0 &&
+                static_cast<double>(cum + in_bucket) >= target) {
+                if (i >= ub.size())
+                    return ub.back(); // overflow: clamp
+                const double lo = i == 0 ? 0.0 : ub[i - 1];
+                const double hi = ub[i];
+                const double frac =
+                    (target - static_cast<double>(cum)) /
+                    static_cast<double>(in_bucket);
+                return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+            }
+            cum += in_bucket;
+        }
+        return ub.back();
+    }
+
+  private:
+    std::vector<double> ub;
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<std::uint64_t> n{0};
+    std::atomic<double> total{0.0};
+};
+
+/**
+ * Wall-clock duration instrument: a FixedHistogram over seconds with
+ * log-spaced default buckets, fed either directly (observe) or by a
+ * RAII Scope. Timer values are telemetry only -- they never feed back
+ * into simulation, so attaching one cannot perturb determinism.
+ */
+class Timer
+{
+  public:
+    Timer()
+        : hist({0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
+                30.0, 60.0, 120.0})
+    {
+    }
+
+    /** Record a duration of @p seconds. */
+    void observe(double seconds) { hist.observe(seconds); }
+
+    /** Measures from construction to destruction. */
+    class Scope
+    {
+      public:
+        explicit Scope(Timer &t)
+            : timer(&t), start(std::chrono::steady_clock::now())
+        {
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+        ~Scope()
+        {
+            timer->observe(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+        }
+
+      private:
+        Timer *timer;
+        std::chrono::steady_clock::time_point start;
+    };
+
+    /** Start a scoped measurement ending at scope exit. */
+    Scope scoped() { return Scope(*this); }
+
+    /** The backing seconds histogram. */
+    const FixedHistogram &histogram() const { return hist; }
+
+  private:
+    FixedHistogram hist;
+};
+
+} // namespace metrics
+} // namespace kagura
+
+#endif // KAGURA_METRICS_METRIC_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Schema validation for kagura.metrics/v1 JSON-lines exports. Shared
+ * by the metrics_agg checker tool and the round-trip tests, so "the
+ * emitter and the validator agree" is enforced in exactly one place.
+ */
+
+#ifndef KAGURA_METRICS_VALIDATE_HH
+#define KAGURA_METRICS_VALIDATE_HH
+
+#include <string>
+#include <string_view>
+
+#include "metrics/json.hh"
+
+namespace kagura
+{
+namespace metrics
+{
+
+/**
+ * Validate one parsed record against the kagura.metrics/v1 schema:
+ * required fields, kind vocabulary, label types, kind-specific
+ * payload shape (finite scalars; histogram buckets with increasing
+ * `le` edges, a final "inf" bucket, and counts summing to `count`).
+ * Returns false and fills @p error on the first violation.
+ */
+bool validateRecord(const json::Value &record, std::string *error);
+
+/** Parse + validate a single JSON-lines line. */
+bool validateRecordLine(std::string_view line, std::string *error);
+
+/**
+ * Validate a whole JSON-lines stream (blank lines allowed). On
+ * failure @p error is prefixed with the 1-based line number. When
+ * @p records_out is given it receives the number of valid records.
+ */
+bool validateRecordStream(std::string_view text, std::string *error,
+                          std::size_t *records_out = nullptr);
+
+} // namespace metrics
+} // namespace kagura
+
+#endif // KAGURA_METRICS_VALIDATE_HH

@@ -98,8 +98,30 @@ CacheStore::global()
 std::string
 CacheStore::entryPath(std::uint64_t hash) const
 {
+    // Shard = the first two hex digits of the 16-digit entry name.
+    return dir + detail::vformat("/%02llx/%016llx.kgr",
+                                 static_cast<unsigned long long>(
+                                     (hash >> 56) & 0xff),
+                                 static_cast<unsigned long long>(hash));
+}
+
+std::string
+CacheStore::legacyEntryPath(std::uint64_t hash) const
+{
     return dir + detail::vformat("/%016llx.kgr",
                                  static_cast<unsigned long long>(hash));
+}
+
+bool
+CacheStore::ensureShardDir(std::uint64_t hash)
+{
+    const std::string shard =
+        dir + detail::vformat("/%02llx",
+                              static_cast<unsigned long long>(
+                                  (hash >> 56) & 0xff));
+    std::error_code ec;
+    std::filesystem::create_directories(shard, ec);
+    return !ec;
 }
 
 void
@@ -120,9 +142,17 @@ CacheStore::lookup(std::uint64_t hash, std::string_view key_text,
     if (!isEnabled)
         return false;
     const std::string path = entryPath(hash);
+    std::string read_path = path;
     std::string blob;
-    if (!readFile(path, blob))
-        return false; // plain miss: entry does not exist (or unreadable)
+    bool from_legacy = false;
+    if (!readFile(read_path, blob)) {
+        // Flat-layout fallback: caches written before sharding keep
+        // their entries at the directory root until touched.
+        read_path = legacyEntryPath(hash);
+        if (!readFile(read_path, blob))
+            return false; // plain miss: entry does not exist
+        from_legacy = true;
+    }
 
     // Header: magic, version, key length, payload length.
     constexpr std::size_t header = 4 + 4 + 8 + 8;
@@ -131,13 +161,13 @@ CacheStore::lookup(std::uint64_t hash, std::string_view key_text,
         std::string_view(blob).substr(0, 4) !=
             std::string_view(entryMagic, 4) ||
         getU32(blob, 4) != entryVersion) {
-        warnOnce("corrupt", path);
+        warnOnce("corrupt", read_path);
         return false;
     }
     const std::uint64_t key_len = getU64(blob, 8);
     const std::uint64_t payload_len = getU64(blob, 16);
     if (blob.size() != header + key_len + payload_len + checksum_bytes) {
-        warnOnce("corrupt", path);
+        warnOnce("corrupt", read_path);
         return false;
     }
     const std::uint64_t stored_sum =
@@ -145,13 +175,21 @@ CacheStore::lookup(std::uint64_t hash, std::string_view key_text,
     const std::string_view body(blob.data(),
                                 blob.size() - checksum_bytes);
     if (fnv1a64(body) != stored_sum) {
-        warnOnce("corrupt", path);
+        warnOnce("corrupt", read_path);
         return false;
     }
     // Collision safety: the stored key must match byte for byte.
     if (std::string_view(blob).substr(header, key_len) != key_text)
         return false;
     payload_out = blob.substr(header + key_len, payload_len);
+
+    // Transparent migration: move a validated flat entry into its
+    // shard so the next lookup takes the fast path. Best-effort; a
+    // concurrent migrator winning the rename is fine either way.
+    if (from_legacy && ensureShardDir(hash)) {
+        std::error_code ec;
+        std::filesystem::rename(read_path, path, ec);
+    }
     return true;
 }
 
@@ -173,6 +211,10 @@ CacheStore::store(std::uint64_t hash, std::string_view key_text,
             }
             dirReady = true;
         }
+    }
+    if (!ensureShardDir(hash)) {
+        warnOnce("unwritable", entryPath(hash));
+        return;
     }
 
     std::string blob;

@@ -3,14 +3,20 @@
  * Persistent on-disk result cache.
  *
  * One file per job under $KAGURA_CACHE_DIR (default .kagura-cache/),
- * named by the 64-bit job hash. Each entry stores the full canonical
- * key text alongside the payload: reads verify the key byte-for-byte,
- * so even a hash collision degrades to a miss, and `cat` on an entry
- * shows a human exactly which configuration it holds. Entries are
- * written to a temp file and renamed into place, so concurrent bench
- * binaries sharing one cache directory never observe a half-written
- * entry; a corrupt or truncated file (killed process, disk full) is
- * treated as a miss with a single warning, never an error.
+ * named by the 64-bit job hash and sharded into 256 subdirectories by
+ * the first two hex digits of that name (ab/abcd...ef.kgr), keeping
+ * directory listings short once fleet sweeps accumulate tens of
+ * thousands of entries. Entries written by older flat layouts are
+ * still found -- a lookup falls back to the un-sharded path and
+ * migrates the file into its shard on the way out. Each entry stores
+ * the full canonical key text alongside the payload: reads verify the
+ * key byte-for-byte, so even a hash collision degrades to a miss, and
+ * `cat` on an entry shows a human exactly which configuration it
+ * holds. Entries are written to a temp file and renamed into place,
+ * so concurrent bench binaries sharing one cache directory never
+ * observe a half-written entry; a corrupt or truncated file (killed
+ * process, disk full) is treated as a miss with a single warning,
+ * never an error.
  *
  * KAGURA_CACHE=off disables the store entirely.
  */
@@ -68,11 +74,17 @@ class CacheStore
     void store(std::uint64_t hash, std::string_view key_text,
                std::string_view payload);
 
-    /** Entry path for @p hash (tests poke at files directly). */
+    /** Sharded entry path for @p hash (tests poke at files directly). */
     std::string entryPath(std::uint64_t hash) const;
+
+    /** Pre-sharding flat path; old entries migrate away from it. */
+    std::string legacyEntryPath(std::uint64_t hash) const;
 
   private:
     void warnOnce(const char *what, const std::string &path);
+
+    /** Best-effort create of the shard directory for @p hash. */
+    bool ensureShardDir(std::uint64_t hash);
 
     std::string dir;
     std::atomic<bool> isEnabled;

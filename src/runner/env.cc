@@ -1,0 +1,66 @@
+#include "runner/env.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+namespace runner
+{
+
+bool
+parseCount(const char *text, unsigned &out)
+{
+    if (!text || !*text)
+        return false;
+    // A leading '-' is rejected outright: strtol would happily parse
+    // it and only the >= 1 range check below would catch it, but the
+    // explicit test keeps "-0" from slipping through as zero.
+    const char *p = text;
+    while (*p == ' ' || *p == '\t')
+        ++p;
+    if (*p == '-')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const long n = std::strtol(p, &end, 10);
+    if (end == p || *end != '\0' || errno == ERANGE)
+        return false;
+    if (n < 1 || n > std::numeric_limits<unsigned>::max())
+        return false;
+    out = static_cast<unsigned>(n);
+    return true;
+}
+
+unsigned
+envCount(const char *name, unsigned fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return fallback;
+    unsigned value = 0;
+    if (parseCount(env, value))
+        return value;
+
+    // Warn once per variable; repeated lookups (every bench sweep
+    // rereads KAGURA_JOBS) must not spam the log.
+    static std::mutex warned_mutex;
+    static std::set<std::string> *warned = new std::set<std::string>;
+    {
+        std::lock_guard<std::mutex> lock(warned_mutex);
+        if (!warned->insert(name).second)
+            return fallback;
+    }
+    warn("ignoring %s='%s' (want a whole number >= 1); using %u",
+         name, env, fallback);
+    return fallback;
+}
+
+} // namespace runner
+} // namespace kagura

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Strict parsing for the runner's numeric environment knobs
+ * (KAGURA_JOBS, KAGURA_REPEATS).
+ *
+ * A malformed value ("abc", "8x", "-3", "", overflow) never silently
+ * truncates: the harness warns once per variable and falls back to
+ * the built-in default. The old behaviour -- strtol stopping at the
+ * first non-digit -- turned "8abc" into 8 jobs without a trace.
+ */
+
+#ifndef KAGURA_RUNNER_ENV_HH
+#define KAGURA_RUNNER_ENV_HH
+
+namespace kagura
+{
+namespace runner
+{
+
+/**
+ * Parse @p text as a whole positive decimal count (>= 1).
+ *
+ * @return true and set @p out only when the entire string (modulo
+ *         leading whitespace and an optional '+') is a valid in-range
+ *         integer >= 1; false otherwise, leaving @p out untouched.
+ */
+bool parseCount(const char *text, unsigned &out);
+
+/**
+ * Read environment variable @p name as a positive count.
+ *
+ * Unset returns @p fallback silently; a malformed or non-positive
+ * value warns once per variable per process and returns @p fallback.
+ */
+unsigned envCount(const char *name, unsigned fallback);
+
+} // namespace runner
+} // namespace kagura
+
+#endif // KAGURA_RUNNER_ENV_HH

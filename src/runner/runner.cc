@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 
 #include "common/logging.hh"
+#include "metrics/registry.hh"
+#include "metrics/sink.hh"
 #include "runner/cache_store.hh"
 #include "runner/config_hash.hh"
 #include "runner/progress.hh"
@@ -22,14 +25,33 @@ namespace
 /** Harness-requested worker count; 0 = auto. Set before a sweep. */
 std::atomic<unsigned> requestedJobs{0};
 
+/**
+ * Per-simulation record export is opt-in (KAGURA_METRICS_PER_SIM=1):
+ * a fleet sweep runs thousands of simulations and the default export
+ * keeps only the aggregate runner counters and bench headlines.
+ */
+bool
+perSimExport()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("KAGURA_METRICS_PER_SIM");
+        return env && env[0] == '1' && env[1] == '\0';
+    }();
+    return enabled;
+}
+
 SimResult
 execute(const SimJob &job)
 {
     progress().noteSimulation();
+    metrics::Registry::global().counter("runner/simulations").add();
     switch (job.kind) {
       case SimJob::Kind::Plain: {
           Simulator sim(job.config);
-          return sim.run();
+          SimResult result = sim.run();
+          if (perSimExport() && metrics::defaultSink())
+              metrics::emitRegistry(sim.metricSet());
+          return result;
       }
       case SimJob::Kind::IdealAware:
         return runIdealOnce(job.config, true);
@@ -80,11 +102,19 @@ runJob(const SimJob &job)
     const bool cacheable = job.config.oracleLog == nullptr;
 
     CacheStore &cache = CacheStore::global();
+    metrics::Registry &reg = metrics::Registry::global();
     const auto start = std::chrono::steady_clock::now();
     const auto elapsed = [&start] {
         return std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - start)
             .count();
+    };
+    const auto finish = [&](const std::string &what, bool cached_hit,
+                            double seconds) {
+        progress().noteDone(seconds);
+        reg.counter("runner/jobs_done").add();
+        reg.timer("runner/job_seconds").observe(seconds);
+        liveProgressLine(what, cached_hit, seconds);
     };
 
     progress().noteStarted();
@@ -97,24 +127,20 @@ runJob(const SimJob &job)
         if (cache.lookup(hash, key, payload) &&
             decodeResult(payload, cached)) {
             progress().noteCacheHit();
-            const double seconds = elapsed();
-            progress().noteDone(seconds);
-            liveProgressLine(job.config.describe(), true, seconds);
+            reg.counter("runner/cache_hits").add();
+            finish(job.config.describe(), true, elapsed());
             return cached;
         }
         progress().noteCacheMiss();
+        reg.counter("runner/cache_misses").add();
         SimResult result = execute(job);
         cache.store(hash, key, encodeResult(result));
-        const double seconds = elapsed();
-        progress().noteDone(seconds);
-        liveProgressLine(job.config.describe(), false, seconds);
+        finish(job.config.describe(), false, elapsed());
         return result;
     }
 
     SimResult result = execute(job);
-    const double seconds = elapsed();
-    progress().noteDone(seconds);
-    liveProgressLine(job.config.describe(), false, seconds);
+    finish(job.config.describe(), false, elapsed());
     return result;
 }
 

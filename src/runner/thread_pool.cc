@@ -1,8 +1,8 @@
 #include "runner/thread_pool.hh"
 
-#include <cstdlib>
-
 #include "common/logging.hh"
+#include "metrics/registry.hh"
+#include "runner/env.hh"
 
 namespace kagura
 {
@@ -12,14 +12,8 @@ namespace runner
 unsigned
 ThreadPool::defaultThreadCount()
 {
-    if (const char *env = std::getenv("KAGURA_JOBS")) {
-        const long n = std::strtol(env, nullptr, 10);
-        if (n >= 1)
-            return static_cast<unsigned>(n);
-        warn("ignoring KAGURA_JOBS='%s' (want an integer >= 1)", env);
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    return envCount("KAGURA_JOBS", hw ? hw : 1);
 }
 
 ThreadPool::ThreadPool(unsigned threads)
@@ -32,6 +26,9 @@ ThreadPool::ThreadPool(unsigned threads)
     for (unsigned i = 0; i < workerCount; ++i)
         workers.emplace_back(
             [this, i](std::stop_token stop) { workerLoop(stop, i); });
+    metrics::Registry::global()
+        .gauge("runner/pool/workers")
+        .set(static_cast<double>(workerCount ? workerCount : 1));
 }
 
 ThreadPool::~ThreadPool()
@@ -46,6 +43,10 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    // Interned once; add() is a relaxed atomic afterwards.
+    static metrics::Counter &submitted =
+        metrics::Registry::global().counter("runner/pool/submitted");
+    submitted.add();
     {
         std::lock_guard<std::mutex> lock(stateMutex);
         ++pending;
@@ -82,12 +83,15 @@ ThreadPool::nextTask(unsigned self)
         }
     }
     // Steal the oldest work (front) of the first non-empty victim.
+    static metrics::Counter &steals =
+        metrics::Registry::global().counter("runner/pool/steals");
     for (unsigned step = 1; step < workerCount; ++step) {
         Worker &victim = *queues[(self + step) % workerCount];
         std::lock_guard<std::mutex> lock(victim.mutex);
         if (!victim.tasks.empty()) {
             auto task = std::move(victim.tasks.front());
             victim.tasks.pop_front();
+            steals.add();
             return task;
         }
     }

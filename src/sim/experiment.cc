@@ -4,36 +4,18 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "runner/env.hh"
 #include "runner/runner.hh"
 
 namespace kagura
 {
-
-namespace
-{
-
-/** Compiled-in default unless KAGURA_REPEATS overrides it. */
-unsigned
-initialSuiteRepeats()
-{
-    if (const char *env = std::getenv("KAGURA_REPEATS")) {
-        const long n = std::strtol(env, nullptr, 10);
-        if (n >= 1)
-            return static_cast<unsigned>(n);
-        warn("ignoring KAGURA_REPEATS='%s' (want an integer >= 1)",
-             env);
-    }
-    return 5;
-}
-
-} // namespace
 
 // Process-wide mutable state: read on the main thread when a suite's
 // job list is built, never from runner workers; benches may assign it
 // before their sweeps (the KAGURA_REPEATS env is applied once here,
 // at static initialisation, so cheap 1-seed smoke sweeps need no
 // recompile).
-unsigned suiteRepeats = initialSuiteRepeats();
+unsigned suiteRepeats = runner::envCount("KAGURA_REPEATS", 5);
 
 std::uint64_t
 suiteSeed(unsigned index)

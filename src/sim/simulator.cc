@@ -1,8 +1,11 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
 #include "compress/compressor.hh"
 #include "core/workload.hh"
+#include "metrics/registry.hh"
 
 namespace kagura
 {
@@ -10,6 +13,7 @@ namespace kagura
 Simulator::Simulator(const SimConfig &config)
     : cfg(config), cap(config.capacitor)
 {
+    mset = std::make_unique<metrics::MetricSet>();
     mem = std::make_unique<Nvm>(cfg.nvmType, cfg.nvmBytes);
 
     // Compression stack: algorithm + governor chain.
@@ -272,9 +276,53 @@ Simulator::closeCycle()
     current = PowerCycleRecord{};
 }
 
+void
+Simulator::recordRunMetrics(double run_seconds)
+{
+    metrics::MetricSet &set = *mset;
+    set.labels()["workload"] = result.workload;
+    set.labels()["config"] = cfg.describe();
+
+    set.counter("sim/instructions").add(result.committedInstructions);
+    set.counter("sim/loads").add(result.loads);
+    set.counter("sim/stores").add(result.stores);
+    set.counter("sim/power_failures").add(result.powerFailures);
+    set.gauge("sim/wall_cycles")
+        .set(static_cast<double>(result.wallCycles));
+    set.gauge("sim/active_cycles")
+        .set(static_cast<double>(result.activeCycles));
+    set.gauge("sim/instructions_per_cycle")
+        .set(result.instructionsPerCycle());
+    if (result.oracleVetoes)
+        set.counter("sim/oracle_vetoes").add(result.oracleVetoes);
+
+    // Perf trajectory: how committed work distributes over the power
+    // cycles the run survived (Fig. 12-style shape, bucketed).
+    metrics::FixedHistogram &per_cycle = set.histogram(
+        "sim/cycle_instructions",
+        {10.0, 100.0, 1000.0, 10000.0, 100000.0});
+    for (const PowerCycleRecord &rec : result.cycles)
+        per_cycle.observe(static_cast<double>(rec.instructions));
+
+    result.icache.recordMetrics(set, "sim/icache");
+    result.dcache.recordMetrics(set, "sim/dcache");
+    result.ledger.recordMetrics(set, "sim/energy");
+    if (cfg.enableKagura)
+        result.kagura.recordMetrics(set, "sim/kagura");
+    if (ichain.acc)
+        ichain.acc->recordMetrics(set, "sim/icache/acc");
+    if (dchain.acc)
+        dchain.acc->recordMetrics(set, "sim/dcache/acc");
+    if (comp)
+        comp->recordMetrics(set, "sim/compressor");
+
+    set.timer("sim/run_seconds").observe(run_seconds);
+}
+
 SimResult
 Simulator::run()
 {
+    const auto run_start = std::chrono::steady_clock::now();
     const Workload &wl = cachedWorkload(cfg.workload);
     result.workload = wl.name();
     wl.applyImage(*mem);
@@ -412,6 +460,9 @@ Simulator::run()
         result.oracle = ichain.recorder->log();
         result.oracle.merge(dchain.recorder->log());
     }
+    recordRunMetrics(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - run_start)
+                         .count());
     if (cfg.verbose)
         inform("run %s: %llu instrs, %llu wall cycles, %llu power "
                "failures",

@@ -24,6 +24,7 @@
 #include "energy/capacitor.hh"
 #include "energy/ledger.hh"
 #include "mem/nvm.hh"
+#include "metrics/fwd.hh"
 #include "sim/sim_config.hh"
 
 namespace kagura
@@ -119,6 +120,14 @@ class Simulator
     /** The data cache (post-run inspection in tests). */
     const Cache &dcache() const { return *dCache; }
 
+    /**
+     * Per-run telemetry, populated at the end of run(): counters and
+     * gauges mirroring the SimResult plus wall-clock timing. Purely
+     * observational -- never feeds back into the simulation, so
+     * results stay bit-identical whether or not anyone reads it.
+     */
+    const metrics::MetricSet &metricSet() const { return *mset; }
+
   private:
     /** Account @p pj into @p cat and draw it from the capacitor. */
     void spend(EnergyCategory cat, PicoJoules pj);
@@ -143,6 +152,9 @@ class Simulator
 
     /** Close the current power-cycle record. */
     void closeCycle();
+
+    /** Fill the per-run MetricSet from the finished SimResult. */
+    void recordRunMetrics(double run_seconds);
 
     SimConfig cfg;
 
@@ -181,6 +193,8 @@ class Simulator
     std::uint64_t regionStartIndex = 0;
     std::uint64_t regionInstr = 0;
     std::uint64_t instrSinceRegion = 0;
+
+    std::unique_ptr<metrics::MetricSet> mset;
 
     SimResult result;
     PowerCycleRecord current;

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Tests for the src/metrics telemetry subsystem: instrument math,
+ * registry interning and thread safety, JSON-lines exports round-
+ * tripping through the schema validator, CSV shape, default-sink
+ * label merging, and -- most importantly -- that attaching a sink
+ * does not perturb simulation determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "metrics/metric.hh"
+#include "runner/cache_store.hh"
+#include "metrics/registry.hh"
+#include "metrics/sink.hh"
+#include "metrics/validate.hh"
+#include "runner/runner.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+namespace kagura
+{
+namespace
+{
+
+/**
+ * Hermetic fixture: any default sink or harness label a test installs
+ * is detached afterwards, and runner knobs touched by the determinism
+ * test are restored, so tests neither leak exports into each other
+ * nor into a developer's environment.
+ */
+class MetricsTests : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        informEnabled = false;
+        savedRepeats = suiteRepeats;
+        savedEnabled = runner::CacheStore::global().enabled();
+        savedDir = runner::CacheStore::global().directory();
+        savedLabels = metrics::defaultLabels();
+        runner::CacheStore::global().setEnabled(false);
+    }
+
+    void
+    TearDown() override
+    {
+        metrics::setDefaultSink(nullptr);
+        metrics::defaultLabels() = savedLabels;
+        suiteRepeats = savedRepeats;
+        runner::setJobCount(0);
+        runner::CacheStore::global().setDirectory(savedDir);
+        runner::CacheStore::global().setEnabled(savedEnabled);
+    }
+
+    /** Fresh file path under the gtest temp root. */
+    std::string
+    tempFile(const std::string &leaf)
+    {
+        const std::string path = testing::TempDir() + "kagura-" + leaf;
+        std::filesystem::remove(path);
+        return path;
+    }
+
+    /** Whole-file slurp; empty string when unreadable. */
+    static std::string
+    slurp(const std::string &path)
+    {
+        std::ifstream f(path, std::ios::binary);
+        std::ostringstream out;
+        out << f.rdbuf();
+        return out.str();
+    }
+
+    unsigned savedRepeats = 0;
+    bool savedEnabled = false;
+    std::string savedDir;
+    std::map<std::string, std::string> savedLabels;
+};
+
+TEST_F(MetricsTests, CounterAndGaugeHoldExactValues)
+{
+    metrics::Counter c;
+    EXPECT_EQ(c.get(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.get(), 42u);
+
+    metrics::Gauge g;
+    EXPECT_EQ(g.get(), 0.0);
+    g.set(3.25);
+    g.set(-1.5); // last write wins
+    EXPECT_EQ(g.get(), -1.5);
+}
+
+TEST_F(MetricsTests, HistogramBucketsSamplesAtInclusiveEdges)
+{
+    metrics::FixedHistogram h({1.0, 2.0, 4.0});
+    ASSERT_EQ(h.buckets(), 4u); // three finite + overflow
+
+    h.observe(0.5);  // bucket 0
+    h.observe(1.0);  // bucket 0: edges are inclusive
+    h.observe(1.001); // bucket 1
+    h.observe(4.0);  // bucket 2
+    h.observe(100.0); // overflow
+    h.observe(-3.0); // negative clamps into bucket 0
+
+    EXPECT_EQ(h.bucketCount(0), 3u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 4.0 + 100.0 - 3.0);
+    EXPECT_DOUBLE_EQ(h.mean(), h.sum() / 6.0);
+}
+
+TEST_F(MetricsTests, HistogramPercentileInterpolatesWithinBuckets)
+{
+    metrics::FixedHistogram h({10.0, 20.0, 40.0});
+    EXPECT_EQ(h.percentile(0.5), 0.0); // empty
+
+    // 10 samples in (0,10], 10 in (10,20].
+    for (int i = 0; i < 10; ++i) {
+        h.observe(5.0);
+        h.observe(15.0);
+    }
+    // Median falls exactly at the first bucket's upper edge.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+    // The 25th percentile lands halfway through bucket 0: 0..10.
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 5.0);
+    // The 75th halfway through bucket 1: 10..20.
+    EXPECT_DOUBLE_EQ(h.percentile(0.75), 15.0);
+    // Out-of-range p clamps instead of misbehaving.
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+
+    // Overflow samples clamp the estimate to the last finite bound.
+    metrics::FixedHistogram over({1.0});
+    over.observe(50.0);
+    EXPECT_DOUBLE_EQ(over.percentile(0.99), 1.0);
+}
+
+TEST_F(MetricsTests, RegistryInternsInstrumentsByName)
+{
+    metrics::Registry reg;
+    metrics::Counter &a = reg.counter("sim/loads");
+    metrics::Counter &b = reg.counter("sim/loads");
+    EXPECT_EQ(&a, &b); // same instrument both times
+    a.add(7);
+    EXPECT_EQ(b.get(), 7u);
+
+    // Histogram bounds apply on first creation only.
+    metrics::FixedHistogram &h1 = reg.histogram("h", {1.0, 2.0});
+    metrics::FixedHistogram &h2 = reg.histogram("h", {99.0});
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.bounds().size(), 2u);
+
+    reg.gauge("g").set(1.0);
+    reg.timer("t").observe(0.5);
+    EXPECT_EQ(reg.size(), 4u);
+}
+
+TEST_F(MetricsTests, RegistryCountsExactlyUnderContention)
+{
+    metrics::Registry reg;
+    constexpr int threads = 8;
+    constexpr int perThread = 10000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&reg] {
+            // Every thread interns the same names concurrently and
+            // hammers the shared instruments.
+            for (int i = 0; i < perThread; ++i) {
+                reg.counter("contended/count").add();
+                reg.histogram("contended/hist", {0.5}).observe(1.0);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+
+    EXPECT_EQ(reg.counter("contended/count").get(),
+              static_cast<std::uint64_t>(threads) * perThread);
+    const metrics::FixedHistogram &h =
+        reg.histogram("contended/hist", {});
+    EXPECT_EQ(h.count(), static_cast<std::uint64_t>(threads) * perThread);
+    EXPECT_EQ(h.bucketCount(1),
+              static_cast<std::uint64_t>(threads) * perThread);
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST_F(MetricsTests, SnapshotIsSortedAndCarriesRegistryLabels)
+{
+    metrics::Registry reg;
+    reg.labels()["workload"] = "crc32";
+    reg.counter("z/last").add(1);
+    reg.gauge("a/first").set(2.0);
+    reg.timer("m/mid").observe(0.01);
+
+    const std::vector<metrics::Record> snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "a/first");
+    EXPECT_EQ(snap[1].name, "m/mid");
+    EXPECT_EQ(snap[2].name, "z/last");
+    EXPECT_EQ(snap[0].kind, metrics::RecordKind::Gauge);
+    EXPECT_EQ(snap[0].value, 2.0);
+    EXPECT_EQ(snap[1].kind, metrics::RecordKind::Timer);
+    EXPECT_EQ(snap[1].count, 1u);
+    for (const metrics::Record &rec : snap)
+        EXPECT_EQ(rec.labels.at("workload"), "crc32");
+}
+
+TEST_F(MetricsTests, JsonExportRoundTripsThroughValidator)
+{
+    metrics::Registry reg;
+    reg.labels()["workload"] = "needs \"escaping\"\n";
+    reg.counter("sim/loads").add(3);
+    reg.gauge("sim/gcp").set(-0.125);
+    reg.histogram("sim/hist", {1.0, 8.0}).observe(2.0);
+    reg.timer("sim/run_seconds").observe(0.25);
+
+    const std::string path = tempFile("roundtrip.jsonl");
+    {
+        auto sink = metrics::JsonLinesSink::open(path);
+        ASSERT_NE(sink, nullptr);
+        reg.emit(*sink);
+        sink->flush();
+    }
+
+    const std::string text = slurp(path);
+    std::string error;
+    std::size_t records = 0;
+    EXPECT_TRUE(metrics::validateRecordStream(text, &error, &records))
+        << error;
+    EXPECT_EQ(records, 4u);
+    // Spot-check the wire format the validator blessed.
+    EXPECT_NE(text.find("\"schema\":\"kagura.metrics/v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"kind\":\"histogram\""), std::string::npos);
+    EXPECT_NE(text.find("{\"le\":\"inf\""), std::string::npos);
+    EXPECT_NE(text.find("\\\"escaping\\\"\\n"), std::string::npos);
+}
+
+TEST_F(MetricsTests, ValidatorRejectsMalformedRecords)
+{
+    std::string error;
+    EXPECT_FALSE(metrics::validateRecordLine("not json", &error));
+    EXPECT_FALSE(metrics::validateRecordLine("{}", &error));
+    EXPECT_FALSE(metrics::validateRecordLine(
+        "{\"schema\":\"kagura.metrics/v2\",\"kind\":\"counter\","
+        "\"name\":\"x\",\"labels\":{},\"value\":1}",
+        &error));
+    EXPECT_FALSE(metrics::validateRecordLine(
+        "{\"schema\":\"kagura.metrics/v1\",\"kind\":\"nonsense\","
+        "\"name\":\"x\",\"labels\":{},\"value\":1}",
+        &error));
+
+    // A multi-line stream reports the offending line number.
+    const std::string good =
+        "{\"schema\":\"kagura.metrics/v1\",\"kind\":\"counter\","
+        "\"name\":\"x\",\"labels\":{},\"value\":1}";
+    EXPECT_TRUE(metrics::validateRecordLine(good, &error)) << error;
+    EXPECT_FALSE(
+        metrics::validateRecordStream(good + "\n\nbroken\n", &error));
+    EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
+TEST_F(MetricsTests, CsvSinkWritesHeaderAndBucketCells)
+{
+    const std::string path = tempFile("export.csv");
+    {
+        auto sink = metrics::CsvSink::open(path);
+        ASSERT_NE(sink, nullptr);
+
+        metrics::Record rec;
+        rec.kind = metrics::RecordKind::Histogram;
+        rec.name = "sim/hist";
+        rec.labels = {{"app", "crc32"}, {"config", "ACC,Kagura"}};
+        rec.count = 3;
+        rec.sum = 6.5;
+        rec.bounds = {1.0, 2.0};
+        rec.bucketCounts = {1, 1, 1};
+        sink->write(rec);
+        sink->flush();
+    }
+
+    const std::string text = slurp(path);
+    EXPECT_NE(
+        text.find("schema,kind,name,labels,value,count,sum,buckets"),
+        std::string::npos);
+    EXPECT_NE(text.find("kagura.metrics/v1,histogram,sim/hist"),
+              std::string::npos);
+    // The comma inside a label value forces CSV quoting.
+    EXPECT_NE(text.find("\"app=crc32;config=ACC,Kagura\""),
+              std::string::npos);
+    EXPECT_NE(text.find("1:1|2:1|inf:1"), std::string::npos);
+}
+
+TEST_F(MetricsTests, DefaultSinkMergesHarnessLabels)
+{
+    const std::string path = tempFile("default-sink.jsonl");
+    metrics::setDefaultSink(metrics::openSink(path));
+    ASSERT_NE(metrics::defaultSink(), nullptr);
+    metrics::defaultLabels()["bench"] = "unit_test";
+    metrics::defaultLabels()["app"] = "default-app";
+
+    metrics::emitHeadline("bench/speedup_pct", 12.5,
+                          {{"app", "crc32"}});
+    metrics::defaultSink()->flush();
+    metrics::setDefaultSink(nullptr);
+
+    const std::string text = slurp(path);
+    std::string error;
+    std::size_t records = 0;
+    EXPECT_TRUE(metrics::validateRecordStream(text, &error, &records))
+        << error;
+    EXPECT_EQ(records, 1u);
+    EXPECT_NE(text.find("\"kind\":\"headline\""), std::string::npos);
+    EXPECT_NE(text.find("\"bench\":\"unit_test\""), std::string::npos);
+    // The record-local app label wins over the harness default.
+    EXPECT_NE(text.find("\"app\":\"crc32\""), std::string::npos);
+    EXPECT_EQ(text.find("default-app"), std::string::npos);
+
+    // With the sink detached, emission is a silent no-op.
+    metrics::emitHeadline("bench/ignored", 1.0);
+}
+
+TEST_F(MetricsTests, SimulatorPopulatesItsMetricSet)
+{
+    SimConfig cfg = accKaguraConfig("crc32");
+    Simulator sim(cfg);
+    const SimResult r = sim.run();
+
+    const metrics::MetricSet &set = sim.metricSet();
+    const std::vector<metrics::Record> snap = set.snapshot();
+    ASSERT_FALSE(snap.empty());
+    EXPECT_EQ(set.labels().at("workload"), "crc32");
+
+    // The exported counters mirror the SimResult exactly.
+    double instructions = -1.0;
+    double wall = -1.0;
+    for (const metrics::Record &rec : snap) {
+        if (rec.name == "sim/instructions")
+            instructions = rec.value;
+        else if (rec.name == "sim/wall_cycles")
+            wall = rec.value;
+    }
+    EXPECT_EQ(instructions,
+              static_cast<double>(r.committedInstructions));
+    EXPECT_EQ(wall, static_cast<double>(r.wallCycles));
+}
+
+TEST_F(MetricsTests, SinkAttachedRunsStayBitIdenticalAcrossJobCounts)
+{
+    suiteRepeats = 2;
+    const std::vector<std::string> apps = {"crc32", "adpcm_d"};
+
+    // Telemetry must be write-only: results with an armed sink, at
+    // any worker count, match a bare serial run bit for bit.
+    runner::setJobCount(1);
+    const SuiteResult bare = runSuite("t", accKaguraConfig, apps);
+
+    const std::string path = tempFile("determinism.jsonl");
+    metrics::setDefaultSink(metrics::openSink(path));
+    ASSERT_NE(metrics::defaultSink(), nullptr);
+    runner::setJobCount(1);
+    const SuiteResult serial = runSuite("t", accKaguraConfig, apps);
+    runner::setJobCount(8);
+    const SuiteResult parallel = runSuite("t", accKaguraConfig, apps);
+    metrics::defaultSink()->flush();
+    metrics::setDefaultSink(nullptr);
+
+    ASSERT_EQ(bare.apps.size(), serial.apps.size());
+    ASSERT_EQ(bare.apps.size(), parallel.apps.size());
+    for (std::size_t a = 0; a < bare.apps.size(); ++a) {
+        ASSERT_EQ(bare.apps[a].runs.size(),
+                  serial.apps[a].runs.size());
+        ASSERT_EQ(bare.apps[a].runs.size(),
+                  parallel.apps[a].runs.size());
+        for (std::size_t i = 0; i < bare.apps[a].runs.size(); ++i) {
+            EXPECT_TRUE(exactlyEqual(bare.apps[a].runs[i],
+                                     serial.apps[a].runs[i]))
+                << bare.apps[a].app << " run " << i
+                << " differs once a sink is attached";
+            EXPECT_TRUE(exactlyEqual(serial.apps[a].runs[i],
+                                     parallel.apps[a].runs[i]))
+                << bare.apps[a].app << " run " << i
+                << " differs between --jobs 1 and --jobs 8";
+        }
+    }
+}
+
+} // namespace
+} // namespace kagura

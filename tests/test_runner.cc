@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -16,6 +17,7 @@
 #include "common/logging.hh"
 #include "runner/cache_store.hh"
 #include "runner/config_hash.hh"
+#include "runner/env.hh"
 #include "runner/progress.hh"
 #include "runner/result_codec.hh"
 #include "runner/runner.hh"
@@ -258,6 +260,103 @@ TEST_F(RunnerTests, CacheStoreTreatsCorruptEntriesAsMisses)
     store.store(7, key, "new-payload");
     ASSERT_TRUE(store.lookup(7, key, out));
     EXPECT_EQ(out, "new-payload");
+}
+
+TEST_F(RunnerTests, CacheStoreShardsEntriesBySubdirectory)
+{
+    runner::CacheStore store(tempDir("shard"));
+
+    // The shard is the first two hex digits of the 16-digit name.
+    EXPECT_NE(store.entryPath(0xab123456789abcdeULL)
+                  .find("/ab/ab123456789abcde.kgr"),
+              std::string::npos);
+    EXPECT_NE(store.entryPath(0x0000000000000007ULL)
+                  .find("/00/0000000000000007.kgr"),
+              std::string::npos);
+    EXPECT_EQ(store.legacyEntryPath(0xab123456789abcdeULL)
+                  .find("/ab/"),
+              std::string::npos);
+
+    // Entries with distinct high bytes land in distinct shard dirs.
+    store.store(0x1100000000000001ULL, "a\n", "pay-a");
+    store.store(0x2200000000000002ULL, "b\n", "pay-b");
+    EXPECT_TRUE(std::filesystem::exists(
+        store.entryPath(0x1100000000000001ULL)));
+    EXPECT_TRUE(std::filesystem::exists(
+        store.entryPath(0x2200000000000002ULL)));
+
+    std::string out;
+    ASSERT_TRUE(store.lookup(0x1100000000000001ULL, "a\n", out));
+    EXPECT_EQ(out, "pay-a");
+}
+
+TEST_F(RunnerTests, CacheStoreMigratesFlatEntriesIntoShards)
+{
+    const std::string dir = tempDir("migrate");
+    const std::uint64_t hash = 0xcd00000000000042ULL;
+    const std::string key = "legacy-key\n";
+
+    // Plant a valid entry at the pre-sharding flat path by writing it
+    // sharded, then moving the file to the directory root.
+    runner::CacheStore store(dir);
+    store.store(hash, key, "legacy-payload");
+    std::filesystem::rename(store.entryPath(hash),
+                            store.legacyEntryPath(hash));
+    ASSERT_FALSE(std::filesystem::exists(store.entryPath(hash)));
+
+    // The lookup still hits -- and migrates the entry into its shard.
+    std::string out;
+    ASSERT_TRUE(store.lookup(hash, key, out));
+    EXPECT_EQ(out, "legacy-payload");
+    EXPECT_TRUE(std::filesystem::exists(store.entryPath(hash)));
+    EXPECT_FALSE(std::filesystem::exists(store.legacyEntryPath(hash)));
+    ASSERT_TRUE(store.lookup(hash, key, out)); // sharded fast path
+    EXPECT_EQ(out, "legacy-payload");
+
+    // A key-mismatched flat entry is a miss and must NOT migrate
+    // (the next reader revalidates it from the flat path).
+    std::filesystem::rename(store.entryPath(hash),
+                            store.legacyEntryPath(hash));
+    EXPECT_FALSE(store.lookup(hash, "other-key\n", out));
+    EXPECT_TRUE(std::filesystem::exists(store.legacyEntryPath(hash)));
+    EXPECT_FALSE(std::filesystem::exists(store.entryPath(hash)));
+}
+
+TEST_F(RunnerTests, ParseCountAcceptsOnlyWholePositiveNumbers)
+{
+    unsigned out = 77;
+    EXPECT_TRUE(runner::parseCount("1", out));
+    EXPECT_EQ(out, 1u);
+    EXPECT_TRUE(runner::parseCount("64", out));
+    EXPECT_EQ(out, 64u);
+    EXPECT_TRUE(runner::parseCount("  +8", out));
+    EXPECT_EQ(out, 8u);
+
+    // Rejected inputs leave the output untouched.
+    out = 77;
+    for (const char *bad :
+         {"", "   ", "abc", "8abc", "8x", "1.5", "-3", "-0", "0",
+          "0x10", "999999999999999999999"})
+        EXPECT_FALSE(runner::parseCount(bad, out)) << "'" << bad << "'";
+    EXPECT_EQ(out, 77u);
+}
+
+TEST_F(RunnerTests, EnvCountFallsBackOnMalformedValues)
+{
+    const char *const var = "KAGURA_TEST_ENV_COUNT";
+
+    ::unsetenv(var);
+    EXPECT_EQ(runner::envCount(var, 5), 5u); // unset: silent fallback
+
+    ::setenv(var, "12", 1);
+    EXPECT_EQ(runner::envCount(var, 5), 12u);
+
+    // Malformed values (the old parser read "8abc" as 8) fall back.
+    for (const char *bad : {"8abc", "abc", "-3", "0", ""}) {
+        ::setenv(var, bad, 1);
+        EXPECT_EQ(runner::envCount(var, 5), 5u) << "'" << bad << "'";
+    }
+    ::unsetenv(var);
 }
 
 TEST_F(RunnerTests, WarmCacheReproducesColdResultsWithoutSimulating)

@@ -16,10 +16,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "metrics/registry.hh"
+#include "metrics/sink.hh"
 #include "runner/cache_store.hh"
 #include "runner/progress.hh"
 #include "runner/runner.hh"
@@ -80,6 +83,9 @@ usage()
         "                        and report speedup/energy deltas\n"
         "  --json                emit the result as JSON instead\n"
         "  --json-cycles         include per-power-cycle records\n"
+        "  --metrics-out PATH    write kagura.metrics/v1 records\n"
+        "                        (.csv for CSV, else JSON lines;\n"
+        "                        $KAGURA_METRICS_OUT)\n"
         "  --quiet               suppress the banner\n"
         "  --verbose             per-run inform() status output\n");
 }
@@ -158,6 +164,7 @@ main(int argc, char **argv)
     bool ideal = false;
     bool json = false;
     bool json_cycles = false;
+    std::string metrics_out;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -303,6 +310,8 @@ main(int argc, char **argv)
             runner::setJobCount(static_cast<unsigned>(n));
         } else if (is("--no-cache")) {
             runner::CacheStore::global().setEnabled(false);
+        } else if (is("--metrics-out")) {
+            metrics_out = nextArg(argc, argv, i);
         } else if (is("--json")) {
             json = true;
         } else if (is("--json-cycles")) {
@@ -320,6 +329,18 @@ main(int argc, char **argv)
     }
 
     informEnabled = false;
+    if (metrics_out.empty()) {
+        if (const char *env = std::getenv("KAGURA_METRICS_OUT"))
+            metrics_out = env;
+    }
+    if (!metrics_out.empty()) {
+        auto sink = metrics::openSink(metrics_out);
+        if (!sink)
+            fatal("cannot open metrics output '%s'",
+                  metrics_out.c_str());
+        metrics::defaultLabels()["bench"] = "kagura_sim";
+        metrics::setDefaultSink(std::move(sink));
+    }
     if (!quiet && !json)
         std::printf("kagura_sim: %s\n", cfg.describe().c_str());
 
@@ -334,6 +355,18 @@ main(int argc, char **argv)
         writeJson(result, stdout, json_cycles);
     else
         printReport(result);
+    if (metrics::defaultSink()) {
+        const std::map<std::string, std::string> labels = {
+            {"app", result.workload}, {"config", cfg.describe()}};
+        metrics::emitHeadline(
+            "sim/wall_cycles",
+            static_cast<double>(result.wallCycles), labels);
+        metrics::emitHeadline(
+            "sim/power_failures",
+            static_cast<double>(result.powerFailures), labels);
+        metrics::emitHeadline("sim/energy_total_pj",
+                              result.ledger.grandTotal(), labels);
+    }
 
     if (run_baseline && !json) {
         runner::SimJob base;
@@ -348,5 +381,9 @@ main(int argc, char **argv)
     }
     if (!quiet && !json)
         runner::printSummary(stdout, runner::jobCount());
+    if (metrics::Sink *sink = metrics::defaultSink()) {
+        metrics::emitRegistry(metrics::Registry::global());
+        sink->flush();
+    }
     return 0;
 }

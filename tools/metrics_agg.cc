@@ -1,0 +1,329 @@
+/**
+ * @file
+ * metrics_agg -- checker/aggregator for kagura.metrics/v1 exports.
+ *
+ * Three modes:
+ *
+ *   metrics_agg --check FILE...
+ *       Validate JSON-lines metric exports against the schema; exits
+ *       nonzero on the first malformed file (CI gate).
+ *
+ *   metrics_agg --out BENCH.json [--pr NAME] [--wall SECONDS]
+ *               [--passed N] [--failed N] FILE...
+ *       Validate and fold a sweep's exports into one kagura.bench/v1
+ *       summary: total wall time, simulations run, cache hit rate,
+ *       and the fig13 ACC+Kagura speedup geomean.
+ *
+ *   metrics_agg --check-bench BENCH.json
+ *       Validate a summary produced by --out (schema + field types).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "metrics/json.hh"
+#include "metrics/validate.hh"
+
+using namespace kagura;
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "metrics_agg -- kagura.metrics/v1 checker and aggregator\n"
+        "\n"
+        "usage:\n"
+        "  metrics_agg --check FILE...\n"
+        "  metrics_agg --out BENCH.json [--pr NAME] [--wall SECONDS]\n"
+        "              [--passed N] [--failed N] FILE...\n"
+        "  metrics_agg --check-bench BENCH.json\n");
+}
+
+/** Whole-file read; false on any I/O trouble. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+/** The label map entry @p key of a parsed record, or "". */
+std::string
+label(const metrics::json::Value &record, const char *key)
+{
+    const metrics::json::Value *labels = record.find("labels");
+    if (!labels)
+        return "";
+    const metrics::json::Value *v = labels->find(key);
+    return v && v->isString() ? v->str : "";
+}
+
+/** Counters folded across every input file. */
+struct SweepTotals
+{
+    std::size_t files = 0;
+    std::size_t records = 0;
+    double simulations = 0.0;
+    double jobsDone = 0.0;
+    double cacheHits = 0.0;
+    double cacheMisses = 0.0;
+    /** fig13 "bench/speedup_geomean" for config=ACC+Kagura; <= 0 =
+     *  not seen. */
+    double fig13Geomean = -1.0;
+};
+
+/**
+ * Validate @p path as a metrics export and (optionally) fold its
+ * headline records into @p totals.
+ */
+bool
+foldFile(const std::string &path, SweepTotals *totals)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "metrics_agg: cannot read '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::string error;
+    std::size_t records = 0;
+    if (!metrics::validateRecordStream(text, &error, &records)) {
+        std::fprintf(stderr, "metrics_agg: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    if (!totals) {
+        std::printf("ok    %-40s %zu records\n", path.c_str(), records);
+        return true;
+    }
+
+    ++totals->files;
+    totals->records += records;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string_view line(text.data() + pos, end - pos);
+        pos = end + 1;
+        if (line.empty())
+            continue;
+        metrics::json::Value rec;
+        if (!metrics::json::parse(line, rec))
+            continue; // already validated; defensive
+        const metrics::json::Value *kind = rec.find("kind");
+        const metrics::json::Value *name = rec.find("name");
+        const metrics::json::Value *value = rec.find("value");
+        if (!kind || !name || !value || kind->str != "headline")
+            continue;
+        if (name->str == "runner/simulations")
+            totals->simulations += value->number;
+        else if (name->str == "runner/jobs_done")
+            totals->jobsDone += value->number;
+        else if (name->str == "runner/cache_hits")
+            totals->cacheHits += value->number;
+        else if (name->str == "runner/cache_misses")
+            totals->cacheMisses += value->number;
+        else if (name->str == "bench/speedup_geomean" &&
+                 label(rec, "config") == "ACC+Kagura" &&
+                 label(rec, "bench").rfind("fig13", 0) == 0)
+            totals->fig13Geomean = value->number;
+    }
+    return true;
+}
+
+/** Minimal JSON number formatting (finite doubles only). */
+std::string
+num(double v)
+{
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15)
+        return detail::vformat("%lld", static_cast<long long>(v));
+    return detail::vformat("%.17g", v);
+}
+
+bool
+writeBenchJson(const std::string &path, const SweepTotals &t,
+               const std::string &pr, double wall, long passed,
+               long failed)
+{
+    const double lookups = t.cacheHits + t.cacheMisses;
+    std::string out = "{\n";
+    out += "  \"schema\": \"kagura.bench/v1\",\n";
+    out += "  \"pr\": \"" + pr + "\",\n";
+    out += "  \"total_wall_seconds\": " + num(wall) + ",\n";
+    out += "  \"benches_passed\": " + num(passed) + ",\n";
+    out += "  \"benches_failed\": " + num(failed) + ",\n";
+    out += "  \"metrics_files\": " + num(t.files) + ",\n";
+    out += "  \"metrics_records\": " + num(t.records) + ",\n";
+    out += "  \"sims_run\": " + num(t.simulations) + ",\n";
+    out += "  \"runner_jobs\": " + num(t.jobsDone) + ",\n";
+    out += "  \"cache_hits\": " + num(t.cacheHits) + ",\n";
+    out += "  \"cache_lookups\": " + num(lookups) + ",\n";
+    out += "  \"cache_hit_rate\": " +
+           num(lookups > 0.0 ? t.cacheHits / lookups : 0.0) + ",\n";
+    out += "  \"fig13_speedup_geomean\": " +
+           (t.fig13Geomean > 0.0 ? num(t.fig13Geomean)
+                                 : std::string("null")) +
+           "\n";
+    out += "}\n";
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "metrics_agg: cannot write '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    const bool ok =
+        std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    return ok;
+}
+
+/** Validate a kagura.bench/v1 summary written by --out. */
+bool
+checkBench(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "metrics_agg: cannot read '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::string error;
+    metrics::json::Value doc;
+    if (!metrics::json::parse(text, doc, &error)) {
+        std::fprintf(stderr, "metrics_agg: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    const auto fail = [&](const char *what) {
+        std::fprintf(stderr, "metrics_agg: %s: %s\n", path.c_str(),
+                     what);
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("top-level value is not an object");
+    const metrics::json::Value *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->str != "kagura.bench/v1")
+        return fail("schema is not \"kagura.bench/v1\"");
+    const char *const numbers[] = {
+        "total_wall_seconds", "benches_passed", "benches_failed",
+        "metrics_files",      "metrics_records", "sims_run",
+        "runner_jobs",        "cache_hits",      "cache_lookups",
+        "cache_hit_rate",
+    };
+    for (const char *field : numbers) {
+        const metrics::json::Value *v = doc.find(field);
+        if (!v || !v->isNumber() || !std::isfinite(v->number) ||
+            v->number < 0.0)
+            return fail(detail::vformat(
+                            "field '%s' missing or not a finite "
+                            "non-negative number",
+                            field)
+                            .c_str());
+    }
+    const metrics::json::Value *geo = doc.find("fig13_speedup_geomean");
+    if (!geo || (!geo->isNull() &&
+                 (!geo->isNumber() || !(geo->number > 0.0))))
+        return fail("field 'fig13_speedup_geomean' must be null or a "
+                    "positive number");
+    const metrics::json::Value *pr = doc.find("pr");
+    if (!pr || !pr->isString())
+        return fail("field 'pr' missing or not a string");
+    std::printf("ok    %s\n", path.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool check = false;
+    bool check_bench = false;
+    std::string out_path;
+    std::string pr = "unnamed";
+    double wall = 0.0;
+    long passed = 0;
+    long failed = 0;
+    std::vector<std::string> inputs;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("flag %s needs a value", arg);
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            usage();
+            return 0;
+        } else if (std::strcmp(arg, "--check") == 0) {
+            check = true;
+        } else if (std::strcmp(arg, "--check-bench") == 0) {
+            check_bench = true;
+        } else if (std::strcmp(arg, "--out") == 0) {
+            out_path = value();
+        } else if (std::strcmp(arg, "--pr") == 0) {
+            pr = value();
+        } else if (std::strcmp(arg, "--wall") == 0) {
+            wall = std::strtod(value(), nullptr);
+        } else if (std::strcmp(arg, "--passed") == 0) {
+            passed = std::strtol(value(), nullptr, 10);
+        } else if (std::strcmp(arg, "--failed") == 0) {
+            failed = std::strtol(value(), nullptr, 10);
+        } else if (arg[0] == '-') {
+            fatal("unknown flag '%s' (see --help)", arg);
+        } else {
+            inputs.emplace_back(arg);
+        }
+    }
+
+    if (check_bench) {
+        if (inputs.size() != 1)
+            fatal("--check-bench wants exactly one summary file");
+        return checkBench(inputs[0]) ? 0 : 1;
+    }
+    if (inputs.empty())
+        fatal("no input files (see --help)");
+
+    if (check && out_path.empty()) {
+        bool ok = true;
+        for (const std::string &path : inputs)
+            ok = foldFile(path, nullptr) && ok;
+        return ok ? 0 : 1;
+    }
+    if (out_path.empty())
+        fatal("pick a mode: --check, --out, or --check-bench");
+
+    SweepTotals totals;
+    for (const std::string &path : inputs)
+        if (!foldFile(path, &totals))
+            return 1;
+    if (!writeBenchJson(out_path, totals, pr, wall, passed, failed))
+        return 1;
+    std::printf("wrote %s: %zu files, %zu records, %.0f sims, "
+                "%.0f/%.0f cache hits\n",
+                out_path.c_str(), totals.files, totals.records,
+                totals.simulations, totals.cacheHits,
+                totals.cacheHits + totals.cacheMisses);
+    return 0;
+}
