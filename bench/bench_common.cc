@@ -11,6 +11,7 @@
 #include "runner/cache_store.hh"
 #include "runner/progress.hh"
 #include "runner/runner.hh"
+#include "trace/trace_workload.hh"
 
 namespace kagura
 {
@@ -101,10 +102,35 @@ suiteEnergyPj(const SuiteResult &suite)
 
 } // namespace
 
+std::vector<std::string>
+parseAppList(const std::string &csv)
+{
+    std::vector<std::string> apps;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        const std::string name = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (!workloadExists(name))
+            fatal("unknown workload '%s' in app selection; %s",
+                  name.c_str(), knownWorkloadsSummary().c_str());
+        apps.push_back(name);
+    }
+    if (apps.empty())
+        fatal("empty app selection; %s",
+              knownWorkloadsSummary().c_str());
+    return apps;
+}
+
 void
 init(int argc, char **argv)
 {
     std::string metrics_out;
+    std::string apps_csv;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         auto value = [&]() -> const char * {
@@ -126,18 +152,37 @@ init(int argc, char **argv)
             runner::CacheStore::global().setEnabled(false);
         } else if (std::strcmp(arg, "--metrics-out") == 0) {
             metrics_out = value();
+        } else if (std::strcmp(arg, "--apps") == 0) {
+            apps_csv = value();
+        } else if (std::strcmp(arg, "--register-trace") == 0) {
+            const std::string spec = value();
+            const std::size_t eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 == spec.size())
+                fatal("--register-trace wants NAME=FILE, got '%s'",
+                      spec.c_str());
+            trace::registerTraceFile(spec.substr(0, eq),
+                                     spec.substr(eq + 1));
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             std::printf("usage: %s [--jobs N] [--repeats N] "
-                        "[--no-cache] [--metrics-out PATH]\n",
+                        "[--no-cache] [--metrics-out PATH] "
+                        "[--register-trace NAME=FILE] [--apps A,B,...]\n",
                         argv[0]);
             std::exit(0);
         } else {
             fatal("unknown flag '%s' (bench binaries take --jobs N, "
-                  "--repeats N, --no-cache, --metrics-out PATH)",
+                  "--repeats N, --no-cache, --metrics-out PATH, "
+                  "--register-trace NAME=FILE, --apps A,B,...)",
                   arg);
         }
     }
+    if (apps_csv.empty()) {
+        if (const char *env = std::getenv("KAGURA_APPS"))
+            apps_csv = env;
+    }
+    if (!apps_csv.empty())
+        setSuiteApps(parseAppList(apps_csv));
     if (metrics_out.empty()) {
         if (const char *env = std::getenv("KAGURA_METRICS_OUT"))
             metrics_out = env;

@@ -30,11 +30,26 @@ namespace bench
  *   --repeats N   trace seeds per configuration (default: the
  *                 KAGURA_REPEATS env, else 5)
  *   --no-cache    skip the persistent result cache for this run
+ *   --register-trace NAME=FILE
+ *                 register a kagura.trace/v1 file as workload NAME
+ *   --apps A,B    replace the default suite list (also the
+ *                 KAGURA_APPS env); every name is validated against
+ *                 the known workloads -- kernels and registered
+ *                 traces -- and an unknown name is a fatal error
+ *                 listing the valid choices, never a silent fallback
  *
  * Also registers an atexit hook that prints the runner telemetry
  * summary ([runner] jobs=... hit_rate=...) after the tables.
  */
 void init(int argc, char **argv);
+
+/**
+ * Split a comma-separated workload selection and validate every name
+ * via workloadExists(). Fatal on an empty selection or an unknown
+ * name, with the full known-workload list in the message (the
+ * --apps / KAGURA_APPS parser; exposed for tests).
+ */
+std::vector<std::string> parseAppList(const std::string &csv);
 
 /** Print the standard experiment banner. */
 void banner(const std::string &experiment_id, const std::string &title,

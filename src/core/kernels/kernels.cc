@@ -49,7 +49,22 @@ registry()
     return table;
 }
 
+/**
+ * Process-wide external resolver (installed once, at static
+ * initialisation, by the trace subsystem; read afterwards). Not
+ * mutex-guarded: installation happens before main() via a static
+ * initialiser in the installing translation unit, so concurrent
+ * runner workers only ever read it.
+ */
+ExternalWorkloadSource externalSource;
+
 } // namespace
+
+void
+setExternalWorkloadSource(const ExternalWorkloadSource &source)
+{
+    externalSource = source;
+}
 
 const std::vector<std::string> &
 workloadNames()
@@ -86,7 +101,38 @@ makeWorkload(const std::string &name)
         if (entry.name == name)
             return entry.builder();
     }
-    fatal("unknown workload '%s'", name.c_str());
+    if (externalSource.matches && externalSource.matches(name))
+        return externalSource.build(name);
+    fatal("unknown workload '%s'; %s", name.c_str(),
+          knownWorkloadsSummary().c_str());
+}
+
+bool
+workloadExists(const std::string &name)
+{
+    for (const Entry &entry : registry()) {
+        if (entry.name == name)
+            return true;
+    }
+    return externalSource.matches && externalSource.matches(name);
+}
+
+std::string
+knownWorkloadsSummary()
+{
+    std::string out = "known workloads:";
+    for (const Entry &entry : registry()) {
+        out += ' ';
+        out += entry.name;
+    }
+    if (externalSource.names) {
+        for (const std::string &name : externalSource.names()) {
+            out += ' ';
+            out += name;
+        }
+    }
+    out += " (or trace:<file> for a recorded kagura.trace/v1 file)";
+    return out;
 }
 
 const std::vector<std::string> &

@@ -161,6 +161,36 @@ class TraceRecorder
 const std::vector<std::string> &workloadNames();
 
 /**
+ * Hook for externally provided workloads (the src/trace subsystem
+ * registers one resolving `trace:<file>` names and registered trace
+ * aliases). makeWorkload() consults it after the built-in kernel
+ * registry; at most one source can be installed per process.
+ */
+struct ExternalWorkloadSource
+{
+    /** Does this source recognise @p name? */
+    bool (*matches)(const std::string &name) = nullptr;
+    /** Build the workload (only called when matches() was true). */
+    Workload (*build)(const std::string &name) = nullptr;
+    /** Currently resolvable names (for error text / listings). */
+    std::vector<std::string> (*names)() = nullptr;
+};
+
+/** Install @p source as the external workload resolver. */
+void setExternalWorkloadSource(const ExternalWorkloadSource &source);
+
+/** True iff makeWorkload(@p name) would succeed. */
+bool workloadExists(const std::string &name);
+
+/**
+ * One human-readable line per known workload family: the paper
+ * suite, the extension kernels, and any external (trace) names.
+ * Used by "unknown workload" fatals so the valid choices are always
+ * spelled out.
+ */
+std::string knownWorkloadsSummary();
+
+/**
  * Extension workloads beyond the paper's 20-app suite (e.g. the
  * Section VII-B AIoT inference kernel); buildable via makeWorkload
  * but excluded from the evaluation figures.

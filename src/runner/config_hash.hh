@@ -30,8 +30,11 @@ namespace runner
  * change that alters simulation results (kernel tweaks, energy-model
  * recalibration, power-trace generation, ...), not on pure
  * refactorings. The result-codec format carries its own version.
+ *
+ * 2: canonical keys grew workload.trace_hash/trace_path lines for
+ *    trace-backed workloads (kagura.trace/v1 record/replay).
  */
-constexpr std::uint64_t simulatorVersionSalt = 1;
+constexpr std::uint64_t simulatorVersionSalt = 2;
 
 /** 64-bit FNV-1a. */
 std::uint64_t fnv1a64(std::string_view bytes);

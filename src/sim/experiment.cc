@@ -23,6 +23,28 @@ suiteSeed(unsigned index)
     return mixSeeds(0x6b616775, index * 7919 + 1);
 }
 
+// Process-wide mutable state, same discipline as suiteRepeats: set by
+// the harness before sweeps start, read on the submitting thread only.
+static std::vector<std::string> suiteAppsOverride;
+
+const std::vector<std::string> &
+suiteApps()
+{
+    return suiteAppsOverride.empty() ? workloadNames()
+                                     : suiteAppsOverride;
+}
+
+void
+setSuiteApps(std::vector<std::string> apps)
+{
+    for (const std::string &app : apps) {
+        if (!workloadExists(app))
+            fatal("unknown workload '%s' in suite selection; %s",
+                  app.c_str(), knownWorkloadsSummary().c_str());
+    }
+    suiteAppsOverride = std::move(apps);
+}
+
 const AppResult &
 SuiteResult::forApp(const std::string &app) const
 {

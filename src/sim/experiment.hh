@@ -66,16 +66,32 @@ SimConfig accConfig(const std::string &workload);
 SimConfig accKaguraConfig(const std::string &workload);
 
 /**
- * Run @p make(app) for every app in @p apps (default: the full
- * 20-application suite), once per trace seed, and collect the results.
- * Jobs execute on the src/runner subsystem: in parallel across
- * runner::jobCount() workers and memoised in the persistent result
- * cache, with the SuiteResult bit-identical at any worker count.
+ * The application list suite sweeps run over by default: the paper's
+ * 20-app suite unless a harness narrowed or replaced it via
+ * setSuiteApps() (bench --apps / KAGURA_APPS). Read on the
+ * submitting thread when a suite's job list is built.
+ */
+const std::vector<std::string> &suiteApps();
+
+/**
+ * Replace the default suite list (every name must satisfy
+ * workloadExists(); trace workloads are allowed). An empty vector
+ * restores the paper suite. Call from the harness before sweeps
+ * start, not concurrently with one.
+ */
+void setSuiteApps(std::vector<std::string> apps);
+
+/**
+ * Run @p make(app) for every app in @p apps (default: suiteApps()),
+ * once per trace seed, and collect the results. Jobs execute on the
+ * src/runner subsystem: in parallel across runner::jobCount()
+ * workers and memoised in the persistent result cache, with the
+ * SuiteResult bit-identical at any worker count.
  */
 SuiteResult
 runSuite(const std::string &label,
          const std::function<SimConfig(const std::string &)> &make,
-         const std::vector<std::string> &apps = workloadNames());
+         const std::vector<std::string> &apps = suiteApps());
 
 /**
  * Ideal-oracle runs for one app config (two-phase, once per seed):

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "trace/trace_workload.hh"
 
 namespace kagura
 {
@@ -88,6 +89,12 @@ SimConfig::canonicalKey() const
     std::string out;
     out.reserve(1536);
     keyf(out, "workload=%s", workload.c_str());
+    // Trace-backed workloads live in a file, not the name: fold the
+    // file's content hash (and resolved path) into the key so stale
+    // .kagura-cache entries miss when the trace changes. Referencing
+    // the trace subsystem here also guarantees its workload resolver
+    // is linked into every simulator binary.
+    out += trace::traceWorkloadKeyLines(workload);
     appendCacheConfig(out, "icache", icache);
     appendCacheConfig(out, "dcache", dcache);
     keyf(out, "governor=%s", governorKindName(governor));

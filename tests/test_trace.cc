@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Tests for the src/trace record/replay subsystem: kagura.trace/v1
+ * round trips, bit-identical replay through the simulator, corruption
+ * rejection, ChampSim ingestion, trace-backed workload registration,
+ * cache-key soundness, and the bench --apps selection parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/logging.hh"
+#include "runner/cache_store.hh"
+#include "runner/runner.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "trace/champsim.hh"
+#include "trace/format.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_workload.hh"
+#include "trace/trace_writer.hh"
+
+#ifndef KAGURA_TEST_DATA_DIR
+#error "KAGURA_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace kagura
+{
+namespace
+{
+
+/**
+ * Hermetic fixture, same discipline as RunnerTests: the persistent
+ * cache is parked disabled and every mutated global is restored, so
+ * trace tests neither touch a developer's .kagura-cache nor leak
+ * worker-count/repeat settings.
+ */
+class TraceTests : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        informEnabled = false;
+        savedRepeats = suiteRepeats;
+        savedEnabled = runner::CacheStore::global().enabled();
+        runner::CacheStore::global().setEnabled(false);
+    }
+
+    void
+    TearDown() override
+    {
+        suiteRepeats = savedRepeats;
+        runner::setJobCount(0);
+        runner::CacheStore::global().setEnabled(savedEnabled);
+    }
+
+    /** Fresh per-test temp file path under the gtest temp root. */
+    std::string
+    tempFile(const std::string &leaf)
+    {
+        const std::string path =
+            testing::TempDir() + "kagura-trace-" + leaf;
+        std::filesystem::remove(path);
+        return path;
+    }
+
+    /** Whole-file read into a byte string. */
+    static std::string
+    slurp(const std::string &path)
+    {
+        std::ifstream in(path, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    }
+
+    /** Whole-string write (binary). */
+    static void
+    spill(const std::string &path, const std::string &bytes)
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    static std::string
+    champSimFixture()
+    {
+        return std::string(KAGURA_TEST_DATA_DIR) + "/mini.champsim";
+    }
+
+    unsigned savedRepeats = 0;
+    bool savedEnabled = false;
+};
+
+bool
+sameOp(const MicroOp &a, const MicroOp &b)
+{
+    return a.type == b.type && a.size == b.size && a.count == b.count &&
+           a.pc == b.pc && a.addr == b.addr && a.value == b.value;
+}
+
+/** The kernels the round-trip tests sweep (cheap but diverse). */
+const std::vector<std::string> &
+roundTripKernels()
+{
+    static const std::vector<std::string> kernels = {
+        "crc32", "bitcount", "adpcm_c"};
+    return kernels;
+}
+
+TEST_F(TraceTests, RecordedTraceLoadsBackIdentically)
+{
+    for (const std::string &kernel : roundTripKernels()) {
+        SCOPED_TRACE(kernel);
+        const Workload &original = cachedWorkload(kernel);
+        const std::string path = tempFile(kernel + ".kgt");
+        trace::writeTrace(original, path);
+
+        const Workload loaded = trace::loadTraceWorkload(path);
+        EXPECT_EQ(loaded.name(), original.name());
+        EXPECT_EQ(loaded.initialImage(), original.initialImage());
+        ASSERT_EQ(loaded.ops().size(), original.ops().size());
+        for (std::size_t i = 0; i < loaded.ops().size(); ++i) {
+            ASSERT_TRUE(sameOp(loaded.ops()[i], original.ops()[i]))
+                << "op " << i << " of " << kernel
+                << " differs after a trace round trip";
+        }
+
+        std::string error;
+        EXPECT_TRUE(trace::validateTrace(path, &error)) << error;
+    }
+}
+
+TEST_F(TraceTests, ReplayIsBitIdenticalToTheOriginalRun)
+{
+    for (const std::string &kernel : roundTripKernels()) {
+        SCOPED_TRACE(kernel);
+        const std::string path = tempFile(kernel + "-replay.kgt");
+        trace::writeTrace(cachedWorkload(kernel), path);
+
+        SimConfig direct_cfg = accKaguraConfig(kernel);
+        Simulator direct(direct_cfg);
+        const SimResult want = direct.run();
+
+        SimConfig replay_cfg = accKaguraConfig(
+            std::string(trace::workloadPrefix) + path);
+        Simulator replay(replay_cfg);
+        const SimResult got = replay.run();
+
+        EXPECT_TRUE(exactlyEqual(want, got))
+            << kernel << ": replayed SimResult differs from the "
+            << "direct run";
+        EXPECT_EQ(got.workload, kernel);
+    }
+}
+
+TEST_F(TraceTests, HeaderStatsMatchTheWorkload)
+{
+    const Workload &wl = cachedWorkload("crc32");
+    const std::string path = tempFile("crc32-info.kgt");
+    trace::writeTrace(wl, path);
+
+    const trace::TraceInfo info = trace::readTraceInfo(path);
+    EXPECT_EQ(info.name, "crc32");
+    EXPECT_EQ(info.version, trace::formatVersion);
+    EXPECT_EQ(info.opCount, wl.ops().size());
+    EXPECT_EQ(info.imageBytes, wl.initialImage().size());
+    EXPECT_GT(info.opsBytes, 0u);
+}
+
+TEST_F(TraceTests, ValidateRejectsCorruptFiles)
+{
+    const std::string good = tempFile("good.kgt");
+    trace::writeTrace(cachedWorkload("crc32"), good);
+    const std::string bytes = slurp(good);
+    ASSERT_GT(bytes.size(), static_cast<std::size_t>(
+                                trace::fixedHeaderBytes));
+    std::string error;
+
+    // Wrong magic.
+    {
+        std::string bad = bytes;
+        bad[0] = 'X';
+        const std::string path = tempFile("magic.kgt");
+        spill(path, bad);
+        EXPECT_FALSE(trace::validateTrace(path, &error));
+        EXPECT_NE(error.find("magic"), std::string::npos) << error;
+    }
+
+    // Unsupported version.
+    {
+        std::string bad = bytes;
+        bad[8] = 0x7f;
+        const std::string path = tempFile("version.kgt");
+        spill(path, bad);
+        EXPECT_FALSE(trace::validateTrace(path, &error));
+    }
+
+    // Truncations at several depths: inside the header, inside the
+    // op payload, and just short of the final byte.
+    for (const std::size_t keep :
+         {std::size_t{10}, std::size_t{trace::fixedHeaderBytes},
+          bytes.size() / 2, bytes.size() - 1}) {
+        const std::string path = tempFile("trunc.kgt");
+        spill(path, bytes.substr(0, keep));
+        EXPECT_FALSE(trace::validateTrace(path, &error))
+            << "accepted a file truncated to " << keep << " bytes";
+    }
+
+    // A flipped payload byte trips the checksum.
+    {
+        std::string bad = bytes;
+        bad[bytes.size() - 1] =
+            static_cast<char>(bad[bytes.size() - 1] ^ 0x5a);
+        const std::string path = tempFile("flip.kgt");
+        spill(path, bad);
+        EXPECT_FALSE(trace::validateTrace(path, &error));
+    }
+
+    // Trailing junk is corruption too, not ignorable padding.
+    {
+        const std::string path = tempFile("tail.kgt");
+        spill(path, bytes + "junk");
+        EXPECT_FALSE(trace::validateTrace(path, &error));
+    }
+
+    // Missing file.
+    EXPECT_FALSE(trace::validateTrace(tempFile("absent.kgt"), &error));
+
+    // The original is untouched and still validates.
+    EXPECT_TRUE(trace::validateTrace(good, &error)) << error;
+}
+
+TEST_F(TraceTests, LoadingACorruptTraceIsFatalNotSilent)
+{
+    const std::string good = tempFile("fatal-good.kgt");
+    trace::writeTrace(cachedWorkload("crc32"), good);
+    std::string bytes = slurp(good);
+    bytes[0] = 'X';
+    const std::string bad = tempFile("fatal-bad.kgt");
+    spill(bad, bytes);
+
+    EXPECT_EXIT(trace::loadTraceWorkload(bad),
+                testing::ExitedWithCode(1), "magic");
+    EXPECT_EXIT(cachedWorkload(std::string(trace::workloadPrefix) +
+                               tempFile("fatal-absent.kgt")),
+                testing::ExitedWithCode(1), "");
+}
+
+TEST_F(TraceTests, ChampSimFixtureConvertsValidatesAndReplays)
+{
+    const std::string out = tempFile("mini-champsim.kgt");
+    trace::ChampSimConvertOptions opts;
+    opts.name = "mini_champsim";
+    const trace::ChampSimConvertStats stats =
+        trace::convertChampSim(champSimFixture(), out, opts);
+
+    // The fixture is 48 records with loads every 3rd record (plus a
+    // second load every 5th), stores every (i % 4 == 1) record, and
+    // branches every (i % 7 == 3) record.
+    EXPECT_EQ(stats.records, 48u);
+    EXPECT_EQ(stats.loads, 16u + 10u);
+    EXPECT_EQ(stats.stores, 12u);
+    EXPECT_EQ(stats.branches, 7u);
+
+    std::string error;
+    ASSERT_TRUE(trace::validateTrace(out, &error)) << error;
+
+    const Workload wl = trace::loadTraceWorkload(out);
+    EXPECT_EQ(wl.name(), "mini_champsim");
+    EXPECT_EQ(wl.committedInstructions(),
+              stats.records + stats.loads + stats.stores);
+    EXPECT_EQ(wl.memoryOps(), stats.loads + stats.stores);
+    EXPECT_TRUE(wl.initialImage().empty());
+
+    // Folded addresses stay inside the configured windows.
+    for (const MicroOp &op : wl.ops()) {
+        if (op.type == MicroOp::Type::Alu) {
+            EXPECT_GE(op.pc, opts.codeBase);
+            EXPECT_LT(op.pc, opts.codeBase + opts.codeWindowBytes);
+        } else {
+            EXPECT_GE(op.addr, opts.dataBase);
+            EXPECT_LT(op.addr, opts.dataBase + opts.dataWindowBytes);
+            EXPECT_EQ(op.addr % 8, 0u);
+            EXPECT_EQ(op.size, 8u);
+        }
+    }
+
+    // End-to-end: the converted trace simulates like any workload,
+    // and identically across two runs.
+    SimConfig cfg = accKaguraConfig(
+        std::string(trace::workloadPrefix) + out);
+    Simulator first(cfg);
+    const SimResult a = first.run();
+    Simulator second(cfg);
+    const SimResult b = second.run();
+    EXPECT_GT(a.committedInstructions, 0u);
+    EXPECT_TRUE(exactlyEqual(a, b));
+
+    // Conversion is deterministic: same input, same output bytes.
+    const std::string again = tempFile("mini-champsim-2.kgt");
+    trace::convertChampSim(champSimFixture(), again, opts);
+    EXPECT_EQ(slurp(out), slurp(again));
+}
+
+TEST_F(TraceTests, ChampSimConversionRespectsMaxRecords)
+{
+    const std::string out = tempFile("mini-champsim-cap.kgt");
+    trace::ChampSimConvertOptions opts;
+    opts.maxRecords = 5;
+    const trace::ChampSimConvertStats stats =
+        trace::convertChampSim(champSimFixture(), out, opts);
+    EXPECT_EQ(stats.records, 5u);
+    std::string error;
+    EXPECT_TRUE(trace::validateTrace(out, &error)) << error;
+}
+
+TEST_F(TraceTests, TraceSuiteIsDeterministicAcrossWorkerCounts)
+{
+    const std::string path = tempFile("suite.kgt");
+    trace::writeTrace(cachedWorkload("crc32"), path);
+    const std::vector<std::string> apps = {
+        std::string(trace::workloadPrefix) + path};
+    suiteRepeats = 2;
+
+    runner::setJobCount(1);
+    const SuiteResult serial = runSuite("t", accKaguraConfig, apps);
+    runner::setJobCount(4);
+    const SuiteResult parallel = runSuite("t", accKaguraConfig, apps);
+
+    ASSERT_EQ(serial.apps.size(), 1u);
+    ASSERT_EQ(parallel.apps.size(), 1u);
+    ASSERT_EQ(serial.apps[0].runs.size(), parallel.apps[0].runs.size());
+    for (std::size_t i = 0; i < serial.apps[0].runs.size(); ++i)
+        EXPECT_TRUE(exactlyEqual(serial.apps[0].runs[i],
+                                 parallel.apps[0].runs[i]))
+            << "trace replay run " << i
+            << " differs between --jobs 1 and --jobs 4";
+}
+
+TEST_F(TraceTests, CanonicalKeyCarriesTheTraceContentHash)
+{
+    const std::string path_a = tempFile("key-a.kgt");
+    const std::string path_b = tempFile("key-b.kgt");
+    trace::writeTrace(cachedWorkload("crc32"), path_a);
+    trace::writeTrace(cachedWorkload("bitcount"), path_b);
+
+    SimConfig kernel_cfg = accConfig("crc32");
+    EXPECT_EQ(kernel_cfg.canonicalKey().find("workload.trace_hash"),
+              std::string::npos);
+
+    SimConfig cfg_a = accConfig(
+        std::string(trace::workloadPrefix) + path_a);
+    SimConfig cfg_b = accConfig(
+        std::string(trace::workloadPrefix) + path_b);
+    const std::string key_a = cfg_a.canonicalKey();
+    EXPECT_NE(key_a.find("workload.trace_hash="), std::string::npos);
+    EXPECT_NE(key_a.find("workload.trace_path="), std::string::npos);
+
+    // Different file contents, different keys -- even though both are
+    // spelled `trace:<path>` workloads.
+    EXPECT_NE(key_a, cfg_b.canonicalKey());
+    EXPECT_NE(trace::traceFileHash(path_a),
+              trace::traceFileHash(path_b));
+}
+
+TEST_F(TraceTests, RegisteredAliasBecomesAKnownWorkload)
+{
+    const std::string path = tempFile("alias.kgt");
+    trace::writeTrace(cachedWorkload("crc32"), path);
+    trace::registerTraceFile("mytrace_alias", path);
+
+    EXPECT_TRUE(workloadExists("mytrace_alias"));
+    EXPECT_TRUE(trace::isTraceWorkloadName("mytrace_alias"));
+    EXPECT_EQ(trace::traceWorkloadPath("mytrace_alias"), path);
+    const std::vector<std::string> names =
+        trace::registeredTraceNames();
+    EXPECT_NE(std::find(names.begin(), names.end(), "mytrace_alias"),
+              names.end());
+    EXPECT_NE(knownWorkloadsSummary().find("mytrace_alias"),
+              std::string::npos);
+
+    // The alias simulates like the underlying file.
+    SimConfig by_alias = accKaguraConfig("mytrace_alias");
+    SimConfig by_path = accKaguraConfig(
+        std::string(trace::workloadPrefix) + path);
+    Simulator alias_sim(by_alias);
+    Simulator path_sim(by_path);
+    EXPECT_TRUE(exactlyEqual(alias_sim.run(), path_sim.run()));
+
+    // An alias clashing with a kernel name is rejected.
+    EXPECT_EXIT(trace::registerTraceFile("crc32", path),
+                testing::ExitedWithCode(1), "crc32");
+}
+
+TEST_F(TraceTests, AppSelectionRejectsUnknownNamesWithTheKnownList)
+{
+    // The fixed "silent fallback": a bad --apps/KAGURA_APPS name must
+    // die listing the valid choices, not quietly run the default set.
+    EXPECT_EXIT(bench::parseAppList("crc32,nosuchapp"),
+                testing::ExitedWithCode(1),
+                "unknown workload 'nosuchapp'");
+    EXPECT_EXIT(bench::parseAppList(",,"), testing::ExitedWithCode(1),
+                "empty app selection");
+    EXPECT_EXIT(setSuiteApps({"alsonotreal"}),
+                testing::ExitedWithCode(1), "alsonotreal");
+
+    const std::vector<std::string> apps =
+        bench::parseAppList("crc32,,fft,");
+    ASSERT_EQ(apps.size(), 2u);
+    EXPECT_EQ(apps[0], "crc32");
+    EXPECT_EQ(apps[1], "fft");
+
+    // suiteApps() reflects a valid override and can be reset.
+    setSuiteApps({"crc32"});
+    ASSERT_EQ(suiteApps().size(), 1u);
+    EXPECT_EQ(suiteApps()[0], "crc32");
+    setSuiteApps({});
+    EXPECT_EQ(suiteApps().size(), workloadNames().size());
+}
+
+} // namespace
+} // namespace kagura

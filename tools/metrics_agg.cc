@@ -21,6 +21,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,14 @@ label(const metrics::json::Value &record, const char *key)
     return v && v->isString() ? v->str : "";
 }
 
+/** Per-bench headline slice (the "benches" map in the summary). */
+struct BenchDetail
+{
+    double jobSeconds = 0.0;
+    double jobs = 0.0;
+    double sims = 0.0;
+};
+
 /** Counters folded across every input file. */
 struct SweepTotals
 {
@@ -86,6 +95,8 @@ struct SweepTotals
     /** fig13 "bench/speedup_geomean" for config=ACC+Kagura; <= 0 =
      *  not seen. */
     double fig13Geomean = -1.0;
+    /** Per-bench breakdown, keyed by the export's "bench" label. */
+    std::map<std::string, BenchDetail> benches;
 };
 
 /**
@@ -132,11 +143,19 @@ foldFile(const std::string &path, SweepTotals *totals)
         const metrics::json::Value *value = rec.find("value");
         if (!kind || !name || !value || kind->str != "headline")
             continue;
-        if (name->str == "runner/simulations")
+        const std::string bench = label(rec, "bench");
+        if (name->str == "runner/simulations") {
             totals->simulations += value->number;
-        else if (name->str == "runner/jobs_done")
+            if (!bench.empty())
+                totals->benches[bench].sims += value->number;
+        } else if (name->str == "runner/jobs_done") {
             totals->jobsDone += value->number;
-        else if (name->str == "runner/cache_hits")
+            if (!bench.empty())
+                totals->benches[bench].jobs += value->number;
+        } else if (name->str == "runner/job_seconds") {
+            if (!bench.empty())
+                totals->benches[bench].jobSeconds += value->number;
+        } else if (name->str == "runner/cache_hits")
             totals->cacheHits += value->number;
         else if (name->str == "runner/cache_misses")
             totals->cacheMisses += value->number;
@@ -180,7 +199,20 @@ writeBenchJson(const std::string &path, const SweepTotals &t,
     out += "  \"fig13_speedup_geomean\": " +
            (t.fig13Geomean > 0.0 ? num(t.fig13Geomean)
                                  : std::string("null")) +
-           "\n";
+           ",\n";
+    // Per-bench breakdown (optional for kagura.bench/v1 readers;
+    // tools/bench_diff uses it for per-bench deltas).
+    out += "  \"benches\": {";
+    bool first = true;
+    for (const auto &[name, detail] : t.benches) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": {\"job_seconds\": " +
+               num(detail.jobSeconds) + ", \"jobs\": " +
+               num(detail.jobs) + ", \"sims\": " + num(detail.sims) +
+               "}";
+    }
+    out += first ? "}\n" : "\n  }\n";
     out += "}\n";
 
     std::FILE *f = std::fopen(path.c_str(), "w");
