@@ -152,6 +152,8 @@ init(int argc, char **argv)
             runner::CacheStore::global().setEnabled(false);
         } else if (std::strcmp(arg, "--metrics-out") == 0) {
             metrics_out = value();
+        } else if (std::strcmp(arg, "--metrics-timeseries") == 0) {
+            metrics::setTimeseriesEnabled(true);
         } else if (std::strcmp(arg, "--apps") == 0) {
             apps_csv = value();
         } else if (std::strcmp(arg, "--register-trace") == 0) {
@@ -167,13 +169,15 @@ init(int argc, char **argv)
                    std::strcmp(arg, "-h") == 0) {
             std::printf("usage: %s [--jobs N] [--repeats N] "
                         "[--no-cache] [--metrics-out PATH] "
+                        "[--metrics-timeseries] "
                         "[--register-trace NAME=FILE] [--apps A,B,...]\n",
                         argv[0]);
             std::exit(0);
         } else {
             fatal("unknown flag '%s' (bench binaries take --jobs N, "
                   "--repeats N, --no-cache, --metrics-out PATH, "
-                  "--register-trace NAME=FILE, --apps A,B,...)",
+                  "--metrics-timeseries, --register-trace NAME=FILE, "
+                  "--apps A,B,...)",
                   arg);
         }
     }
@@ -186,6 +190,10 @@ init(int argc, char **argv)
     if (metrics_out.empty()) {
         if (const char *env = std::getenv("KAGURA_METRICS_OUT"))
             metrics_out = env;
+    }
+    if (const char *env = std::getenv("KAGURA_METRICS_TIMESERIES")) {
+        if (std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0)
+            metrics::setTimeseriesEnabled(true);
     }
     if (!metrics_out.empty()) {
         auto sink = metrics::openSink(metrics_out);

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Host-side microbenchmark (google-benchmark) for end-to-end
+ * simulator throughput: cold simulated-ops/sec per workload and
+ * configuration. Every iteration constructs a fresh Simulator and
+ * runs it to completion -- the persistent result cache is never on
+ * this path (Simulator::run() is below the runner layer), so this
+ * measures the raw model, exactly what the allocation-free block
+ * pipeline is meant to speed up.
+ *
+ * Items/sec in the report is committed instructions per second of
+ * host wall time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+using namespace kagura;
+
+namespace
+{
+
+const char *const apps[] = {"crc32", "fft", "jpegd", "susans"};
+
+SimConfig
+configFor(int config_id, const std::string &app)
+{
+    switch (config_id) {
+      case 0:
+        return baselineConfig(app);
+      case 1:
+        return accConfig(app);
+      default:
+        return accKaguraConfig(app);
+    }
+}
+
+void
+simThroughput(benchmark::State &state)
+{
+    const std::string app = apps[state.range(0)];
+    const SimConfig config = configFor(static_cast<int>(state.range(1)),
+                                       app);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        Simulator sim(config);
+        const SimResult result = sim.run();
+        instructions += result.committedInstructions;
+        benchmark::DoNotOptimize(result.committedInstructions);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+
+} // namespace
+
+BENCHMARK(simThroughput)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2}})
+    ->ArgNames({"app", "config"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -24,12 +24,12 @@ using namespace kagura;
 namespace
 {
 
-using Block = std::vector<std::uint8_t>;
+using Bytes = std::vector<std::uint8_t>;
 
-Block
+Bytes
 makePattern(const std::string &kind, std::size_t size, Rng &rng)
 {
-    Block block(size, 0);
+    Bytes block(size, 0);
     if (kind == "zeros") {
         // nothing to do
     } else if (kind == "small ints") {
@@ -104,7 +104,7 @@ main(int argc, char **argv)
             Rng rng(mixSeeds(std::hash<std::string>{}(pattern), 1));
             std::uint64_t total = 0;
             for (int sample = 0; sample < 200; ++sample) {
-                const Block block = makePattern(pattern, block_size, rng);
+                const Bytes block = makePattern(pattern, block_size, rng);
                 const CompressionResult result = comp->compress(block);
                 total += std::min<std::uint64_t>(result.sizeBytes(),
                                                  block.size());

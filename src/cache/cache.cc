@@ -60,6 +60,9 @@ validated(const CacheConfig &cfg)
 {
     if (!isPowerOfTwo(cfg.blockSize))
         fatal("block size must be a power of two (got %u)", cfg.blockSize);
+    if (cfg.blockSize > Block::maxBytes)
+        fatal("block size %u exceeds the largest supported geometry "
+              "(%zu B)", cfg.blockSize, Block::maxBytes);
     if (cfg.ways == 0)
         fatal("cache needs at least one way");
     if (cfg.sizeBytes % (cfg.ways * cfg.blockSize) != 0 || cfg.sets() == 0)
@@ -78,7 +81,20 @@ Cache::Cache(const CacheConfig &config, Nvm &nvm,
     : cfg(validated(config)), mem(nvm), comp(compressor), gov(governor),
       shadow(config.sets(), config.ways, config.blockSize)
 {
-    setArray.assign(cfg.sets(), Set{});
+    // One tag slot per potential resident (2x ways when compressed)
+    // and one fixed arena slice per slot, all allocated up front so
+    // the access path never touches the heap.
+    const std::size_t slots_per_set = 2 * cfg.ways;
+    arena.assign(static_cast<std::size_t>(cfg.sets()) * slots_per_set *
+                     cfg.blockSize,
+                 0);
+    setArray.assign(cfg.sets(), Set(slots_per_set));
+    for (unsigned s = 0; s < cfg.sets(); ++s) {
+        for (std::size_t w = 0; w < slots_per_set; ++w) {
+            setArray[s][w].arenaOffset =
+                (s * slots_per_set + w) * cfg.blockSize;
+        }
+    }
 }
 
 unsigned
@@ -136,8 +152,7 @@ Cache::roundToSegments(std::uint64_t bytes) const
 }
 
 unsigned
-Cache::compressedFootprint(const std::vector<std::uint8_t> &data,
-                           bool &worthwhile) const
+Cache::compressedFootprint(ConstByteSpan data, bool &worthwhile) const
 {
     kagura_assert(comp != nullptr);
     const unsigned footprint = roundToSegments(comp->compressedBytes(data));
@@ -148,7 +163,7 @@ Cache::compressedFootprint(const std::vector<std::uint8_t> &data,
 void
 Cache::writeback(Line &line, AccessOutcome &out)
 {
-    mem.writeBytes(line.base, line.data.data(), cfg.blockSize);
+    mem.writeBytes(line.base, lineData(line).data(), cfg.blockSize);
     ++out.nvmBlockWrites;
     mem.noteBlockWrite();
     ++stat.writebacks;
@@ -224,7 +239,7 @@ Cache::makeRoom(Set &set, unsigned needed, bool may_compress,
             break;
         bool worthwhile = false;
         const unsigned footprint =
-            compressedFootprint(victim->data, worthwhile);
+            compressedFootprint(lineData(*victim), worthwhile);
         ++out.compressions;
         ++stat.compressions;
         if (!worthwhile) {
@@ -313,8 +328,11 @@ Cache::fillLine(Addr addr, Cycles now, AccessOutcome &out)
     Set &set = setArray[setIndex(addr)];
     const Addr base = blockBase(addr);
 
-    // Fetch the block from NVM.
-    std::vector<std::uint8_t> data = mem.readBlock(base, cfg.blockSize);
+    // Fetch the block from NVM into inline scratch *before* makeRoom
+    // can write back a victim: NVM addresses wrap modulo the array
+    // size, so an eviction may overwrite the very bytes being fetched.
+    Block data(cfg.blockSize);
+    mem.readBlock(base, data.span());
     ++out.nvmBlockReads;
     mem.noteBlockRead();
 
@@ -326,7 +344,8 @@ Cache::fillLine(Addr addr, Cycles now, AccessOutcome &out)
     unsigned footprint = cfg.blockSize;
     if (engage) {
         bool worthwhile = false;
-        const unsigned compact = compressedFootprint(data, worthwhile);
+        const unsigned compact =
+            compressedFootprint(data.span(), worthwhile);
         ++out.compressions;
         ++stat.compressions;
         shadow.setCompressible(base, worthwhile);
@@ -345,7 +364,9 @@ Cache::fillLine(Addr addr, Cycles now, AccessOutcome &out)
 
     makeRoom(set, footprint, place, nullptr, now, out);
 
-    // Reuse an invalid slot or append a new tag.
+    // Take the first invalid tag slot (makeRoom guarantees one; every
+    // slot exists up front, so this matches the historical "reuse or
+    // append" order exactly).
     Line *slot = nullptr;
     for (Line &line : set) {
         if (!line.valid) {
@@ -353,10 +374,7 @@ Cache::fillLine(Addr addr, Cycles now, AccessOutcome &out)
             break;
         }
     }
-    if (!slot) {
-        set.emplace_back();
-        slot = &set.back();
-    }
+    kagura_assert(slot != nullptr);
 
     slot->valid = true;
     slot->dirty = false;
@@ -368,7 +386,7 @@ Cache::fillLine(Addr addr, Cycles now, AccessOutcome &out)
     slot->lastUse = ++useCounter;
     slot->inserted = slot->lastUse;
     slot->lastTouch = now;
-    slot->data = std::move(data);
+    std::memcpy(lineData(*slot).data(), data.data(), cfg.blockSize);
     return *slot;
 }
 
@@ -442,7 +460,7 @@ Cache::access(Addr addr, bool is_write, std::uint8_t *data, unsigned size,
     const unsigned offset = static_cast<unsigned>(addr % cfg.blockSize);
     if (is_write) {
         kagura_assert(data != nullptr);
-        std::memcpy(line->data.data() + offset, data, size);
+        std::memcpy(lineData(*line).data() + offset, data, size);
         line->dirty = true;
         if (line->compressed) {
             Set &owning_set = setArray[setIndex(addr)];
@@ -466,7 +484,7 @@ Cache::access(Addr addr, bool is_write, std::uint8_t *data, unsigned size,
                 // it may no longer fit in its old footprint.
                 bool worthwhile = false;
                 const unsigned footprint =
-                    compressedFootprint(line->data, worthwhile);
+                    compressedFootprint(lineData(*line), worthwhile);
                 ++out.compressions;
                 ++stat.compressions;
                 ++out.compactions;
@@ -496,7 +514,7 @@ Cache::access(Addr addr, bool is_write, std::uint8_t *data, unsigned size,
             }
         }
     } else if (data) {
-        std::memcpy(data, line->data.data() + offset, size);
+        std::memcpy(data, lineData(*line).data() + offset, size);
     }
 
     line->lastUse = ++useCounter;
@@ -550,7 +568,6 @@ Cache::flushAndInvalidate()
             line.valid = false;
             line.occupied = 0;
         }
-        set.clear();
     }
     shadow.invalidateAll();
     if (gov)
@@ -561,8 +578,12 @@ Cache::flushAndInvalidate()
 void
 Cache::invalidateAll()
 {
-    for (Set &set : setArray)
-        set.clear();
+    for (Set &set : setArray) {
+        for (Line &line : set) {
+            line.valid = false;
+            line.occupied = 0;
+        }
+    }
     shadow.invalidateAll();
     if (gov)
         gov->noteCacheCleared();

@@ -12,6 +12,11 @@
  * functional correctness; compression determines only the space a line
  * occupies and the energy/latency events reported to the caller.
  *
+ * Storage is a single flat arena (sets x 2*ways x block_size bytes)
+ * allocated once at construction; every line owns a fixed slice of it,
+ * so fills, hits, writebacks and compression probes never touch the
+ * heap (see docs/ARCHITECTURE.md).
+ *
  * The cache is policy-free: a CompressionGovernor (ACC, Kagura, or a
  * fixed governor) decides *whether* to compress; the cache reports
  * every energy-relevant event through AccessOutcome so the platform
@@ -26,6 +31,7 @@
 #include <vector>
 
 #include "cache/decay.hh"
+#include "common/block.hh"
 #include "cache/governor.hh"
 #include "cache/prefetcher.hh"
 #include "cache/shadow_tags.hh"
@@ -229,8 +235,8 @@ class Cache
         std::uint64_t inserted = 0;
         /** Cycle of the last touch (decay). */
         Cycles lastTouch = 0;
-        /** Uncompressed block contents. */
-        std::vector<std::uint8_t> data;
+        /** Byte offset of this line's slice of the data arena. */
+        std::size_t arenaOffset = 0;
     };
 
     using Set = std::vector<Line>;
@@ -250,8 +256,20 @@ class Cache
     unsigned roundToSegments(std::uint64_t bytes) const;
 
     /** Footprint a block's data would take if compressed now. */
-    unsigned compressedFootprint(const std::vector<std::uint8_t> &data,
+    unsigned compressedFootprint(ConstByteSpan data,
                                  bool &worthwhile) const;
+
+    /** The uncompressed contents of @p line (its arena slice). */
+    MutByteSpan
+    lineData(Line &line)
+    {
+        return {arena.data() + line.arenaOffset, cfg.blockSize};
+    }
+    ConstByteSpan
+    lineData(const Line &line) const
+    {
+        return {arena.data() + line.arenaOffset, cfg.blockSize};
+    }
 
     /**
      * Make at least @p needed bytes and one tag slot available in
@@ -282,6 +300,8 @@ class Cache
     Prefetcher *pf = nullptr;
 
     std::vector<Set> setArray;
+    /** Block contents for every tag slot, one fixed slice per line. */
+    std::vector<std::uint8_t> arena;
     ShadowTags shadow;
     CacheStats stat;
     std::uint64_t useCounter = 0;

@@ -2,7 +2,6 @@
 
 #include <array>
 #include <cstring>
-#include <optional>
 
 #include "compress/bitstream.hh"
 
@@ -60,25 +59,30 @@ storeLittle(std::uint8_t *dst, std::uint64_t v, unsigned bytes)
 }
 
 /**
- * Try one (base, delta) variant. Returns the encoded payload bits if
- * every value fits either its delta to the first non-zero base or its
- * delta to zero; nullopt otherwise.
+ * Try one (base, delta) variant, streaming the encoding into @p out.
+ * Returns false (with @p out partially written -- callers probe with a
+ * BitCounter first, so a real writer only ever sees the winner) if any
+ * value fits neither its delta to the first non-zero base nor its
+ * delta to zero.
  */
-std::optional<BitWriter>
-tryVariant(const std::vector<std::uint8_t> &block, unsigned variant_id,
-           const VariantSpec &spec)
+template <typename Sink>
+bool
+tryVariant(ConstByteSpan block, unsigned variant_id,
+           const VariantSpec &spec, Sink &out)
 {
     const std::size_t n = block.size() / spec.baseBytes;
     if (n * spec.baseBytes != block.size() || n == 0)
-        return std::nullopt;
+        return false;
 
     const unsigned delta_bits = spec.deltaBytes * 8;
 
     // Pick the first value not representable against the zero base as
-    // the explicit base (the BDI "immediate" scheme).
+    // the explicit base (the BDI "immediate" scheme). Blocks are at
+    // most Block::maxBytes, so at most 32 two-byte values.
     std::uint64_t base = 0;
     bool have_base = false;
-    std::vector<std::uint64_t> values(n);
+    std::array<std::uint64_t, Block::maxBytes / 2> values;
+    kagura_assert(n <= values.size());
     for (std::size_t i = 0; i < n; ++i) {
         values[i] = loadLittle(block.data() + i * spec.baseBytes,
                                spec.baseBytes);
@@ -90,7 +94,6 @@ tryVariant(const std::vector<std::uint8_t> &block, unsigned variant_id,
         }
     }
 
-    BitWriter out;
     out.write(variant_id, headerBits);
     out.write(base, spec.baseBytes * 8);
     for (std::size_t i = 0; i < n; ++i) {
@@ -110,16 +113,15 @@ tryVariant(const std::vector<std::uint8_t> &block, unsigned variant_id,
             out.write(1, 1); // explicit base selector
             out.write(static_cast<std::uint64_t>(delta_base_n), delta_bits);
         } else {
-            return std::nullopt;
+            return false;
         }
     }
-    return out;
+    return true;
 }
 
-} // namespace
-
-CompressionResult
-BdiCompressor::compress(const std::vector<std::uint8_t> &block) const
+template <typename Sink>
+void
+bdiEncode(ConstByteSpan block, Sink &out)
 {
     // All-zero block: header only.
     bool all_zero = true;
@@ -130,9 +132,8 @@ BdiCompressor::compress(const std::vector<std::uint8_t> &block) const
         }
     }
     if (all_zero) {
-        BitWriter out;
         out.write(BdiZeros, headerBits);
-        return {out.bits(), out.data()};
+        return;
     }
 
     // Repeated 8-byte value.
@@ -146,59 +147,86 @@ BdiCompressor::compress(const std::vector<std::uint8_t> &block) const
             }
         }
         if (repeated) {
-            BitWriter out;
             out.write(BdiRepeat, headerBits);
             out.write(first, 64);
-            return {out.bits(), out.data()};
+            return;
         }
     }
 
-    // Base+delta variants; keep the smallest.
-    std::optional<BitWriter> best;
+    // Base+delta variants; probe each with a counting sink and keep
+    // the smallest (first wins ties, matching the historical order).
+    bool have_best = false;
+    unsigned best = 0;
+    std::uint64_t best_bits = 0;
     for (unsigned v = 0; v < variantSpecs.size(); ++v) {
-        auto attempt = tryVariant(block, BdiB8D1 + v, variantSpecs[v]);
-        if (attempt && (!best || attempt->bits() < best->bits()))
-            best = std::move(attempt);
+        BitCounter probe;
+        if (tryVariant(block, BdiB8D1 + v, variantSpecs[v], probe) &&
+            (!have_best || probe.bits() < best_bits)) {
+            have_best = true;
+            best = v;
+            best_bits = probe.bits();
+        }
     }
-    if (best)
-        return {best->bits(), best->data()};
+    if (have_best) {
+        const bool ok =
+            tryVariant(block, BdiB8D1 + best, variantSpecs[best], out);
+        kagura_assert(ok);
+        return;
+    }
 
     // Raw fallback.
-    BitWriter out;
     out.write(BdiRaw, headerBits);
     for (std::uint8_t b : block)
         out.write(b, 8);
-    return {out.bits(), out.data()};
 }
 
-std::vector<std::uint8_t>
-BdiCompressor::decompress(const std::vector<std::uint8_t> &payload,
-                          std::size_t block_size) const
+} // namespace
+
+std::uint64_t
+BdiCompressor::compress(ConstByteSpan block, PayloadBuffer &out) const
+{
+    out.clear();
+    SpanBitWriter sink(out.scratch());
+    bdiEncode(block, sink);
+    out.setBits(sink.bits());
+    return sink.bits();
+}
+
+std::uint64_t
+BdiCompressor::sizeBits(ConstByteSpan block) const
+{
+    BitCounter sink;
+    bdiEncode(block, sink);
+    return sink.bits();
+}
+
+void
+BdiCompressor::decompress(ConstByteSpan payload, MutByteSpan block) const
 {
     BitReader in(payload);
     const unsigned variant = static_cast<unsigned>(in.read(headerBits));
-    std::vector<std::uint8_t> block(block_size, 0);
+    std::memset(block.data(), 0, block.size());
 
     if (variant == BdiZeros)
-        return block;
+        return;
 
     if (variant == BdiRepeat) {
         const std::uint64_t value = in.read(64);
-        for (std::size_t i = 0; i + 8 <= block_size; i += 8)
+        for (std::size_t i = 0; i + 8 <= block.size(); i += 8)
             storeLittle(block.data() + i, value, 8);
-        return block;
+        return;
     }
 
     if (variant == BdiRaw) {
-        for (std::size_t i = 0; i < block_size; ++i)
+        for (std::size_t i = 0; i < block.size(); ++i)
             block[i] = static_cast<std::uint8_t>(in.read(8));
-        return block;
+        return;
     }
 
     kagura_assert(variant >= BdiB8D1 && variant <= BdiB2D1);
     const VariantSpec &spec = variantSpecs[variant - BdiB8D1];
     const std::uint64_t base = in.read(spec.baseBytes * 8);
-    const std::size_t n = block_size / spec.baseBytes;
+    const std::size_t n = block.size() / spec.baseBytes;
     for (std::size_t i = 0; i < n; ++i) {
         const bool use_base = in.read(1) != 0;
         const std::uint64_t delta_raw = in.read(spec.deltaBytes * 8);
@@ -209,7 +237,6 @@ BdiCompressor::decompress(const std::vector<std::uint8_t> &payload,
         storeLittle(block.data() + i * spec.baseBytes, value,
                     spec.baseBytes);
     }
-    return block;
 }
 
 } // namespace kagura

@@ -1,36 +1,71 @@
 /**
  * @file
- * Bit-granular writer/reader used by the compression algorithms to build
- * self-describing compressed payloads. Bits are packed LSB-first into a
- * byte vector.
+ * Bit-granular sinks and reader used by the compression algorithms to
+ * build self-describing compressed payloads. Bits are packed LSB-first
+ * into bytes.
+ *
+ * Every algorithm is written once as a template over a *sink*:
+ *  - SpanBitWriter packs bits into a caller-provided fixed buffer
+ *    (the allocation-free hot path; see PayloadBuffer),
+ *  - BitCounter only counts, so `compressedBytes()` probes a block's
+ *    compressed size without materializing a payload.
+ * Both expose the same write()/bits() surface.
  */
 
 #ifndef KAGURA_COMPRESS_BITSTREAM_HH
 #define KAGURA_COMPRESS_BITSTREAM_HH
 
 #include <cstdint>
-#include <vector>
 
+#include "common/block.hh"
 #include "common/logging.hh"
+#include "common/types.hh"
 
 namespace kagura
 {
 
-/** Append-only bit stream writer. */
-class BitWriter
+/** Counting-only sink: measures a payload without writing it. */
+class BitCounter
 {
   public:
+    /** Account the low @p width bits of a value (width <= 64). */
+    void
+    write(std::uint64_t, unsigned width)
+    {
+        kagura_assert(width <= 64);
+        bitCount += width;
+    }
+
+    /** Number of bits accounted so far. */
+    std::uint64_t bits() const { return bitCount; }
+
+    /** Restart the count (variant probing). */
+    void reset() { bitCount = 0; }
+
+  private:
+    std::uint64_t bitCount = 0;
+};
+
+/**
+ * Packs bits LSB-first into a caller-provided buffer. The buffer must
+ * be zeroed and large enough for the worst-case payload (the sink
+ * asserts); no allocation ever happens.
+ */
+class SpanBitWriter
+{
+  public:
+    explicit SpanBitWriter(MutByteSpan buffer) : bytes(buffer) {}
+
     /** Append the low @p width bits of @p value (width <= 64). */
     void
     write(std::uint64_t value, unsigned width)
     {
         kagura_assert(width <= 64);
+        kagura_assert(bitCount + width <= 8 * bytes.size());
         for (unsigned i = 0; i < width; ++i) {
-            const std::size_t byte = bitCount / 8;
-            if (byte >= bytes.size())
-                bytes.push_back(0);
             if ((value >> i) & 1)
-                bytes[byte] |= static_cast<std::uint8_t>(1u << (bitCount % 8));
+                bytes[bitCount / 8] |=
+                    static_cast<std::uint8_t>(1u << (bitCount % 8));
             ++bitCount;
         }
     }
@@ -38,11 +73,16 @@ class BitWriter
     /** Number of bits written so far. */
     std::uint64_t bits() const { return bitCount; }
 
-    /** The packed payload (last byte zero-padded). */
-    const std::vector<std::uint8_t> &data() const { return bytes; }
+    /** The bytes written so far (last byte zero-padded). */
+    ConstByteSpan
+    data() const
+    {
+        return bytes.subspan(0, static_cast<std::size_t>(
+                                    ceilDiv(bitCount, 8)));
+    }
 
   private:
-    std::vector<std::uint8_t> bytes;
+    MutByteSpan bytes;
     std::uint64_t bitCount = 0;
 };
 
@@ -50,10 +90,7 @@ class BitWriter
 class BitReader
 {
   public:
-    explicit BitReader(const std::vector<std::uint8_t> &payload)
-        : bytes(payload)
-    {
-    }
+    explicit BitReader(ConstByteSpan payload) : bytes(payload) {}
 
     /** Read the next @p width bits (width <= 64). */
     std::uint64_t
@@ -75,7 +112,7 @@ class BitReader
     std::uint64_t consumed() const { return cursor; }
 
   private:
-    const std::vector<std::uint8_t> &bytes;
+    ConstByteSpan bytes;
     std::uint64_t cursor = 0;
 };
 

@@ -1,5 +1,8 @@
 #include "compress/bpc.hh"
 
+#include <array>
+#include <cstring>
+
 #include "compress/bitstream.hh"
 
 namespace kagura
@@ -16,6 +19,11 @@ enum BpcPlaneCode : unsigned
     PlaneSingle = 2,  ///< exactly one set bit (+ its position)
     PlaneRaw = 3,     ///< verbatim plane bits
 };
+
+constexpr unsigned planeCount = 33;
+
+/** Largest delta vector a Block::maxBytes block can produce. */
+constexpr std::size_t maxDeltas = Block::maxBytes / 4 - 1;
 
 std::uint32_t
 loadWord(const std::uint8_t *src)
@@ -45,18 +53,18 @@ indexBits(std::size_t width)
     return bits;
 }
 
-} // namespace
-
-CompressionResult
-BpcCompressor::compress(const std::vector<std::uint8_t> &block) const
+template <typename Sink>
+void
+bpcEncode(ConstByteSpan block, Sink &out)
 {
     const std::size_t words = block.size() / 4;
     kagura_assert(words * 4 == block.size());
     kagura_assert(words >= 2);
     const std::size_t deltas = words - 1;
+    kagura_assert(deltas <= maxDeltas);
 
     // 1. Deltas between neighbouring 32-bit values (33-bit signed).
-    std::vector<std::int64_t> delta(deltas);
+    std::array<std::int64_t, maxDeltas> delta;
     std::uint32_t prev = loadWord(block.data());
     for (std::size_t i = 0; i < deltas; ++i) {
         const std::uint32_t cur = loadWord(block.data() + (i + 1) * 4);
@@ -66,8 +74,7 @@ BpcCompressor::compress(const std::vector<std::uint8_t> &block) const
     }
 
     // 2. Bit-plane transform: plane b collects bit b of every delta.
-    constexpr unsigned planeCount = 33;
-    std::vector<std::uint64_t> plane(planeCount, 0);
+    std::array<std::uint64_t, planeCount> plane{};
     for (unsigned b = 0; b < planeCount; ++b) {
         for (std::size_t i = 0; i < deltas; ++i) {
             const auto bits =
@@ -78,7 +85,7 @@ BpcCompressor::compress(const std::vector<std::uint8_t> &block) const
     }
 
     // 3. DBX: XOR each plane with its neighbour (plane 32 stays).
-    std::vector<std::uint64_t> dbx(planeCount);
+    std::array<std::uint64_t, planeCount> dbx;
     dbx[planeCount - 1] = plane[planeCount - 1];
     for (unsigned b = 0; b + 1 < planeCount; ++b)
         dbx[b] = plane[b] ^ plane[b + 1];
@@ -87,7 +94,6 @@ BpcCompressor::compress(const std::vector<std::uint8_t> &block) const
     const std::uint64_t mask =
         deltas >= 64 ? ~0ULL : (1ULL << deltas) - 1;
     const unsigned idx_bits = indexBits(deltas);
-    BitWriter out;
     out.write(loadWord(block.data()), 32);
     for (unsigned b = 0; b < planeCount; ++b) {
         const std::uint64_t bits = dbx[b] & mask;
@@ -106,16 +112,34 @@ BpcCompressor::compress(const std::vector<std::uint8_t> &block) const
             out.write(bits, static_cast<unsigned>(deltas));
         }
     }
-    return {out.bits(), out.data()};
 }
 
-std::vector<std::uint8_t>
-BpcCompressor::decompress(const std::vector<std::uint8_t> &payload,
-                          std::size_t block_size) const
+} // namespace
+
+std::uint64_t
+BpcCompressor::compress(ConstByteSpan block, PayloadBuffer &out) const
 {
-    const std::size_t words = block_size / 4;
+    out.clear();
+    SpanBitWriter sink(out.scratch());
+    bpcEncode(block, sink);
+    out.setBits(sink.bits());
+    return sink.bits();
+}
+
+std::uint64_t
+BpcCompressor::sizeBits(ConstByteSpan block) const
+{
+    BitCounter sink;
+    bpcEncode(block, sink);
+    return sink.bits();
+}
+
+void
+BpcCompressor::decompress(ConstByteSpan payload, MutByteSpan block) const
+{
+    const std::size_t words = block.size() / 4;
     const std::size_t deltas = words - 1;
-    constexpr unsigned planeCount = 33;
+    kagura_assert(deltas <= maxDeltas);
     const std::uint64_t mask =
         deltas >= 64 ? ~0ULL : (1ULL << deltas) - 1;
     const unsigned idx_bits = indexBits(deltas);
@@ -123,7 +147,7 @@ BpcCompressor::decompress(const std::vector<std::uint8_t> &payload,
     BitReader in(payload);
     const std::uint32_t base = static_cast<std::uint32_t>(in.read(32));
 
-    std::vector<std::uint64_t> dbx(planeCount);
+    std::array<std::uint64_t, planeCount> dbx;
     for (unsigned b = 0; b < planeCount; ++b) {
         switch (in.read(2)) {
           case PlaneZero:
@@ -142,13 +166,13 @@ BpcCompressor::decompress(const std::vector<std::uint8_t> &payload,
     }
 
     // Reverse the XOR chain (top plane is stored verbatim).
-    std::vector<std::uint64_t> plane(planeCount);
+    std::array<std::uint64_t, planeCount> plane;
     plane[planeCount - 1] = dbx[planeCount - 1];
     for (int b = static_cast<int>(planeCount) - 2; b >= 0; --b)
         plane[b] = dbx[b] ^ plane[b + 1];
 
     // Reverse the bit-plane transform, then prefix-sum the deltas.
-    std::vector<std::uint8_t> block(block_size, 0);
+    std::memset(block.data(), 0, block.size());
     storeWord(block.data(), base);
     std::uint32_t prev = base;
     for (std::size_t i = 0; i < deltas; ++i) {
@@ -163,7 +187,6 @@ BpcCompressor::decompress(const std::vector<std::uint8_t> &payload,
         storeWord(block.data() + (i + 1) * 4, cur);
         prev = cur;
     }
-    return block;
 }
 
 } // namespace kagura

@@ -1,6 +1,7 @@
 #include "compress/cpack.hh"
 
 #include <array>
+#include <cstring>
 
 #include "compress/bitstream.hh"
 
@@ -115,12 +116,10 @@ class Dictionary
     std::size_t head = 0;
 };
 
-} // namespace
-
-CompressionResult
-CPackCompressor::compress(const std::vector<std::uint8_t> &block) const
+template <typename Sink>
+void
+cpackEncode(ConstByteSpan block, Sink &out)
 {
-    BitWriter out;
     Dictionary dict;
     const std::size_t words = block.size() / 4;
     kagura_assert(words * 4 == block.size());
@@ -165,17 +164,35 @@ CPackCompressor::compress(const std::vector<std::uint8_t> &block) const
         out.write(w, 32);
         dict.push(w);
     }
-    return {out.bits(), out.data()};
 }
 
-std::vector<std::uint8_t>
-CPackCompressor::decompress(const std::vector<std::uint8_t> &payload,
-                            std::size_t block_size) const
+} // namespace
+
+std::uint64_t
+CPackCompressor::compress(ConstByteSpan block, PayloadBuffer &out) const
+{
+    out.clear();
+    SpanBitWriter sink(out.scratch());
+    cpackEncode(block, sink);
+    out.setBits(sink.bits());
+    return sink.bits();
+}
+
+std::uint64_t
+CPackCompressor::sizeBits(ConstByteSpan block) const
+{
+    BitCounter sink;
+    cpackEncode(block, sink);
+    return sink.bits();
+}
+
+void
+CPackCompressor::decompress(ConstByteSpan payload, MutByteSpan block) const
 {
     BitReader in(payload);
     Dictionary dict;
-    std::vector<std::uint8_t> block(block_size, 0);
-    const std::size_t words = block_size / 4;
+    std::memset(block.data(), 0, block.size());
+    const std::size_t words = block.size() / 4;
 
     for (std::size_t i = 0; i < words; ++i) {
         std::uint32_t w = 0;
@@ -218,7 +235,6 @@ CPackCompressor::decompress(const std::vector<std::uint8_t> &payload,
         }
         storeWord(block.data() + i * 4, w);
     }
-    return block;
 }
 
 } // namespace kagura

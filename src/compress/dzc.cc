@@ -1,39 +1,63 @@
 #include "compress/dzc.hh"
 
+#include <cstring>
+
 #include "compress/bitstream.hh"
 
 namespace kagura
 {
 
-CompressionResult
-DzcCompressor::compress(const std::vector<std::uint8_t> &block) const
+namespace
 {
-    BitWriter out;
-    // ZIB vector first: 1 = byte is zero (stored implicitly).
+
+/** ZIB vector first (1 = zero byte), then the non-zero bytes. */
+template <typename Sink>
+void
+dzcEncode(ConstByteSpan block, Sink &out)
+{
     for (std::uint8_t b : block)
         out.write(b == 0 ? 1 : 0, 1);
-    // Then the non-zero bytes in order.
     for (std::uint8_t b : block) {
         if (b != 0)
             out.write(b, 8);
     }
-    return {out.bits(), out.data()};
 }
 
-std::vector<std::uint8_t>
-DzcCompressor::decompress(const std::vector<std::uint8_t> &payload,
-                          std::size_t block_size) const
+} // namespace
+
+std::uint64_t
+DzcCompressor::compress(ConstByteSpan block, PayloadBuffer &out) const
 {
+    out.clear();
+    SpanBitWriter sink(out.scratch());
+    dzcEncode(block, sink);
+    out.setBits(sink.bits());
+    return sink.bits();
+}
+
+std::uint64_t
+DzcCompressor::sizeBits(ConstByteSpan block) const
+{
+    BitCounter sink;
+    dzcEncode(block, sink);
+    return sink.bits();
+}
+
+void
+DzcCompressor::decompress(ConstByteSpan payload, MutByteSpan block) const
+{
+    kagura_assert(block.size() <= Block::maxBytes);
     BitReader in(payload);
-    std::vector<bool> zero(block_size);
-    for (std::size_t i = 0; i < block_size; ++i)
-        zero[i] = in.read(1) != 0;
-    std::vector<std::uint8_t> block(block_size, 0);
-    for (std::size_t i = 0; i < block_size; ++i) {
-        if (!zero[i])
-            block[i] = static_cast<std::uint8_t>(in.read(8));
+    std::uint64_t zero = 0; // ZIB fits: blocks are at most 64 bytes
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        if (in.read(1) != 0)
+            zero |= 1ULL << i;
     }
-    return block;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        block[i] = (zero >> i) & 1
+                       ? 0
+                       : static_cast<std::uint8_t>(in.read(8));
+    }
 }
 
 } // namespace kagura

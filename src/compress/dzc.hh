@@ -21,12 +21,18 @@ class DzcCompressor : public Compressor
     CompressorKind kind() const override { return CompressorKind::Dzc; }
     const char *name() const override { return "DZC"; }
 
-    CompressionResult
-    compress(const std::vector<std::uint8_t> &block) const override;
+    std::uint64_t compress(ConstByteSpan block,
+                           PayloadBuffer &out) const override;
 
-    std::vector<std::uint8_t>
-    decompress(const std::vector<std::uint8_t> &payload,
-               std::size_t block_size) const override;
+    std::uint64_t sizeBits(ConstByteSpan block) const override;
+
+    void decompress(ConstByteSpan payload,
+                    MutByteSpan block) const override;
+
+    // Keep the base class's vector conveniences visible alongside the
+    // span overrides.
+    using Compressor::compress;
+    using Compressor::decompress;
 
     CompressionCosts
     costs() const override

@@ -1,5 +1,7 @@
 #include "compress/fpc.hh"
 
+#include <cstring>
+
 #include "compress/bitstream.hh"
 
 namespace kagura
@@ -41,12 +43,10 @@ storeWord(std::uint8_t *dst, std::uint32_t v)
     dst[3] = static_cast<std::uint8_t>(v >> 24);
 }
 
-} // namespace
-
-CompressionResult
-FpcCompressor::compress(const std::vector<std::uint8_t> &block) const
+template <typename Sink>
+void
+fpcEncode(ConstByteSpan block, Sink &out)
 {
-    BitWriter out;
     const std::size_t words = block.size() / 4;
     kagura_assert(words * 4 == block.size());
 
@@ -99,16 +99,34 @@ FpcCompressor::compress(const std::vector<std::uint8_t> &block) const
         }
         ++i;
     }
-    return {out.bits(), out.data()};
 }
 
-std::vector<std::uint8_t>
-FpcCompressor::decompress(const std::vector<std::uint8_t> &payload,
-                          std::size_t block_size) const
+} // namespace
+
+std::uint64_t
+FpcCompressor::compress(ConstByteSpan block, PayloadBuffer &out) const
+{
+    out.clear();
+    SpanBitWriter sink(out.scratch());
+    fpcEncode(block, sink);
+    out.setBits(sink.bits());
+    return sink.bits();
+}
+
+std::uint64_t
+FpcCompressor::sizeBits(ConstByteSpan block) const
+{
+    BitCounter sink;
+    fpcEncode(block, sink);
+    return sink.bits();
+}
+
+void
+FpcCompressor::decompress(ConstByteSpan payload, MutByteSpan block) const
 {
     BitReader in(payload);
-    std::vector<std::uint8_t> block(block_size, 0);
-    const std::size_t words = block_size / 4;
+    std::memset(block.data(), 0, block.size());
+    const std::size_t words = block.size() / 4;
 
     std::size_t i = 0;
     while (i < words) {
@@ -155,7 +173,6 @@ FpcCompressor::decompress(const std::vector<std::uint8_t> &payload,
         storeWord(block.data() + i * 4, w);
         ++i;
     }
-    return block;
 }
 
 } // namespace kagura

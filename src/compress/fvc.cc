@@ -1,8 +1,8 @@
 #include "compress/fvc.hh"
 
-#include <algorithm>
+#include <array>
+#include <cstring>
 #include <utility>
-#include <vector>
 
 #include "compress/bitstream.hh"
 
@@ -33,50 +33,61 @@ storeWord(std::uint8_t *dst, std::uint32_t v)
 constexpr unsigned codeBits = 3;
 constexpr unsigned literalCode = 7;
 
-} // namespace
+/** At most one distinct value per word of a Block::maxBytes block. */
+constexpr std::size_t maxDistinct = Block::maxBytes / 4;
 
-CompressionResult
-FvcCompressor::compress(const std::vector<std::uint8_t> &block) const
+template <typename Sink>
+void
+fvcEncode(ConstByteSpan block, Sink &out)
 {
     const std::size_t words = block.size() / 4;
     kagura_assert(words * 4 == block.size());
+    kagura_assert(words <= maxDistinct);
 
     // Tally distinct values, keep the most frequent repeaters.
-    std::vector<std::pair<std::uint32_t, unsigned>> tally;
+    std::array<std::pair<std::uint32_t, unsigned>, maxDistinct> tally;
+    std::size_t distinct = 0;
     for (std::size_t i = 0; i < words; ++i) {
         const std::uint32_t w = loadWord(block.data() + i * 4);
         bool found = false;
-        for (auto &[value, count] : tally) {
-            if (value == w) {
-                ++count;
+        for (std::size_t t = 0; t < distinct; ++t) {
+            if (tally[t].first == w) {
+                ++tally[t].second;
                 found = true;
                 break;
             }
         }
         if (!found)
-            tally.emplace_back(w, 1);
+            tally[distinct++] = {w, 1};
     }
-    std::stable_sort(tally.begin(), tally.end(),
-                     [](const auto &a, const auto &b) {
-                         return a.second > b.second;
-                     });
+    // Stable insertion sort by descending count (std::stable_sort may
+    // allocate a temporary buffer; this path must not).
+    for (std::size_t i = 1; i < distinct; ++i) {
+        const auto entry = tally[i];
+        std::size_t j = i;
+        while (j > 0 && tally[j - 1].second < entry.second) {
+            tally[j] = tally[j - 1];
+            --j;
+        }
+        tally[j] = entry;
+    }
 
-    std::vector<std::uint32_t> dict;
-    for (const auto &[value, count] : tally) {
-        if (count < 2 || dict.size() == dictCapacity)
+    std::array<std::uint32_t, FvcCompressor::dictCapacity> dict;
+    std::size_t dict_size = 0;
+    for (std::size_t t = 0; t < distinct; ++t) {
+        if (tally[t].second < 2 || dict_size == FvcCompressor::dictCapacity)
             break;
-        dict.push_back(value);
+        dict[dict_size++] = tally[t].first;
     }
 
     // Payload: dictionary size + entries, then per-word codes.
-    BitWriter out;
-    out.write(dict.size(), 3);
-    for (std::uint32_t value : dict)
-        out.write(value, 32);
+    out.write(dict_size, 3);
+    for (std::size_t d = 0; d < dict_size; ++d)
+        out.write(dict[d], 32);
     for (std::size_t i = 0; i < words; ++i) {
         const std::uint32_t w = loadWord(block.data() + i * 4);
         unsigned code = literalCode;
-        for (std::size_t d = 0; d < dict.size(); ++d) {
+        for (std::size_t d = 0; d < dict_size; ++d) {
             if (dict[d] == w) {
                 code = static_cast<unsigned>(d);
                 break;
@@ -86,33 +97,51 @@ FvcCompressor::compress(const std::vector<std::uint8_t> &block) const
         if (code == literalCode)
             out.write(w, 32);
     }
-    return {out.bits(), out.data()};
 }
 
-std::vector<std::uint8_t>
-FvcCompressor::decompress(const std::vector<std::uint8_t> &payload,
-                          std::size_t block_size) const
+} // namespace
+
+std::uint64_t
+FvcCompressor::compress(ConstByteSpan block, PayloadBuffer &out) const
+{
+    out.clear();
+    SpanBitWriter sink(out.scratch());
+    fvcEncode(block, sink);
+    out.setBits(sink.bits());
+    return sink.bits();
+}
+
+std::uint64_t
+FvcCompressor::sizeBits(ConstByteSpan block) const
+{
+    BitCounter sink;
+    fvcEncode(block, sink);
+    return sink.bits();
+}
+
+void
+FvcCompressor::decompress(ConstByteSpan payload, MutByteSpan block) const
 {
     BitReader in(payload);
     const auto dict_size = static_cast<std::size_t>(in.read(3));
-    std::vector<std::uint32_t> dict(dict_size);
-    for (std::uint32_t &value : dict)
-        value = static_cast<std::uint32_t>(in.read(32));
+    kagura_assert(dict_size <= dictCapacity);
+    std::array<std::uint32_t, dictCapacity> dict{};
+    for (std::size_t d = 0; d < dict_size; ++d)
+        dict[d] = static_cast<std::uint32_t>(in.read(32));
 
-    std::vector<std::uint8_t> block(block_size, 0);
-    const std::size_t words = block_size / 4;
+    std::memset(block.data(), 0, block.size());
+    const std::size_t words = block.size() / 4;
     for (std::size_t i = 0; i < words; ++i) {
         const unsigned code = static_cast<unsigned>(in.read(codeBits));
         std::uint32_t w;
         if (code == literalCode) {
             w = static_cast<std::uint32_t>(in.read(32));
         } else {
-            kagura_assert(code < dict.size());
+            kagura_assert(code < dict_size);
             w = dict[code];
         }
         storeWord(block.data() + i * 4, w);
     }
-    return block;
 }
 
 } // namespace kagura

@@ -26,12 +26,10 @@ Nvm::writeBytes(Addr addr, const std::uint8_t *src, std::size_t count)
         storage[index(addr + i)] = src[i];
 }
 
-std::vector<std::uint8_t>
-Nvm::readBlock(Addr addr, std::size_t block_size) const
+void
+Nvm::readBlock(Addr addr, MutByteSpan dst) const
 {
-    std::vector<std::uint8_t> block(block_size);
-    readBytes(addr, block.data(), block_size);
-    return block;
+    readBytes(addr, dst.data(), dst.size());
 }
 
 } // namespace kagura

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/block.hh"
 #include "common/types.hh"
 #include "energy/energy_model.hh"
 
@@ -46,9 +47,8 @@ class Nvm
     /** Copy @p count bytes from @p src into the array at @p addr. */
     void writeBytes(Addr addr, const std::uint8_t *src, std::size_t count);
 
-    /** Read a whole block of @p block_size bytes at @p addr. */
-    std::vector<std::uint8_t> readBlock(Addr addr,
-                                        std::size_t block_size) const;
+    /** Read a whole block at @p addr into @p dst (allocation-free). */
+    void readBlock(Addr addr, MutByteSpan dst) const;
 
     /** Number of block reads served (functional statistic). */
     std::uint64_t blockReads() const { return reads; }

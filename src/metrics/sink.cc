@@ -309,5 +309,24 @@ emitHeadline(std::string name, double value,
     emitRecord(std::move(rec));
 }
 
+namespace
+{
+
+std::atomic<bool> timeseriesArmed{false};
+
+} // namespace
+
+void
+setTimeseriesEnabled(bool on)
+{
+    timeseriesArmed.store(on);
+}
+
+bool
+timeseriesEnabled()
+{
+    return timeseriesArmed.load();
+}
+
 } // namespace metrics
 } // namespace kagura

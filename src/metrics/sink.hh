@@ -135,6 +135,19 @@ void emitRegistry(const Registry &registry);
 void emitHeadline(std::string name, double value,
                   std::map<std::string, std::string> labels = {});
 
+/**
+ * Arm per-power-cycle time-series export: when on, every simulation
+ * additionally emits one record per completed power cycle and series
+ * (instructions, loads, stores, active cycles) with a `cycle_index`
+ * label. Harnesses arm it from --metrics-timeseries /
+ * KAGURA_METRICS_TIMESERIES; off by default because long intermittent
+ * runs complete tens of thousands of cycles.
+ */
+void setTimeseriesEnabled(bool on);
+
+/** True when per-power-cycle export is armed. */
+bool timeseriesEnabled();
+
 } // namespace metrics
 } // namespace kagura
 

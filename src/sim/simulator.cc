@@ -6,6 +6,7 @@
 #include "compress/compressor.hh"
 #include "core/workload.hh"
 #include "metrics/registry.hh"
+#include "metrics/sink.hh"
 
 namespace kagura
 {
@@ -303,6 +304,32 @@ Simulator::recordRunMetrics(double run_seconds)
         {10.0, 100.0, 1000.0, 10000.0, 100000.0});
     for (const PowerCycleRecord &rec : result.cycles)
         per_cycle.observe(static_cast<double>(rec.instructions));
+
+    // Optional per-power-cycle time series (--metrics-timeseries):
+    // one gauge record per completed cycle and series, indexed by a
+    // cycle_index label so downstream tools can reconstruct the
+    // trajectory exactly instead of through histogram buckets.
+    if (metrics::timeseriesEnabled() && metrics::defaultSink()) {
+        std::size_t index = 0;
+        for (const PowerCycleRecord &rec : result.cycles) {
+            const auto emit = [&](const char *name, double value) {
+                metrics::Record record;
+                record.kind = metrics::RecordKind::Gauge;
+                record.name = name;
+                record.labels = set.labels();
+                record.labels["cycle_index"] = std::to_string(index);
+                record.value = value;
+                metrics::emitRecord(std::move(record));
+            };
+            emit("sim/cycle/instructions",
+                 static_cast<double>(rec.instructions));
+            emit("sim/cycle/loads", static_cast<double>(rec.loads));
+            emit("sim/cycle/stores", static_cast<double>(rec.stores));
+            emit("sim/cycle/active_cycles",
+                 static_cast<double>(rec.activeCycles));
+            ++index;
+        }
+    }
 
     result.icache.recordMetrics(set, "sim/icache");
     result.dcache.recordMetrics(set, "sim/dcache");

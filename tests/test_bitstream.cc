@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "common/rng.hh"
 #include "compress/bitstream.hh"
 
@@ -16,14 +18,19 @@ namespace
 
 TEST(BitStream, EmptyWriterHasNoBits)
 {
-    BitWriter writer;
+    std::array<std::uint8_t, 16> buf{};
+    SpanBitWriter writer(buf);
     EXPECT_EQ(writer.bits(), 0u);
     EXPECT_TRUE(writer.data().empty());
+
+    BitCounter counter;
+    EXPECT_EQ(counter.bits(), 0u);
 }
 
 TEST(BitStream, SingleBits)
 {
-    BitWriter writer;
+    std::array<std::uint8_t, 16> buf{};
+    SpanBitWriter writer(buf);
     writer.write(1, 1);
     writer.write(0, 1);
     writer.write(1, 1);
@@ -37,7 +44,8 @@ TEST(BitStream, SingleBits)
 
 TEST(BitStream, FullWidthValues)
 {
-    BitWriter writer;
+    std::array<std::uint8_t, 16> buf{};
+    SpanBitWriter writer(buf);
     writer.write(0xdeadbeefcafebabeULL, 64);
     BitReader reader(writer.data());
     EXPECT_EQ(reader.read(64), 0xdeadbeefcafebabeULL);
@@ -45,7 +53,8 @@ TEST(BitStream, FullWidthValues)
 
 TEST(BitStream, ValuesAreMaskedToWidth)
 {
-    BitWriter writer;
+    std::array<std::uint8_t, 16> buf{};
+    SpanBitWriter writer(buf);
     writer.write(0xff, 4); // only the low 4 bits land
     writer.write(0x0, 4);
     BitReader reader(writer.data());
@@ -59,7 +68,9 @@ TEST(BitStream, RandomSequenceRoundTrips)
     Rng rng(0xb17);
     for (int trial = 0; trial < 50; ++trial) {
         std::vector<std::pair<std::uint64_t, unsigned>> tokens;
-        BitWriter writer;
+        std::array<std::uint8_t, 8 * 64> buf{};
+        SpanBitWriter writer(buf);
+        BitCounter counter;
         const int n = 1 + static_cast<int>(rng.below(64));
         for (int i = 0; i < n; ++i) {
             const unsigned width =
@@ -68,8 +79,11 @@ TEST(BitStream, RandomSequenceRoundTrips)
                 width >= 64 ? ~0ULL : (1ULL << width) - 1;
             const std::uint64_t value = rng.next() & mask;
             writer.write(value, width);
+            counter.write(value, width);
             tokens.emplace_back(value, width);
         }
+        // Property: the counting sink always agrees with the writer.
+        ASSERT_EQ(counter.bits(), writer.bits());
         BitReader reader(writer.data());
         for (const auto &[value, width] : tokens)
             ASSERT_EQ(reader.read(width), value)
@@ -79,7 +93,8 @@ TEST(BitStream, RandomSequenceRoundTrips)
 
 TEST(BitStream, BitCountMatchesSumOfWidths)
 {
-    BitWriter writer;
+    std::array<std::uint8_t, 16> buf{};
+    SpanBitWriter writer(buf);
     writer.write(1, 3);
     writer.write(2, 7);
     writer.write(3, 64);

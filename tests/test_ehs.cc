@@ -232,7 +232,8 @@ TEST(Nvm, BlockReadCopies)
     Nvm nvm(NvmType::ReRam, 4096);
     const std::uint8_t b = 7;
     nvm.writeBytes(64, &b, 1);
-    const auto block = nvm.readBlock(64, 32);
+    Block block(32);
+    nvm.readBlock(64, block.span());
     ASSERT_EQ(block.size(), 32u);
     EXPECT_EQ(block[0], 7);
     EXPECT_EQ(block[1], 0);

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Behaviour-preservation gates for the block-pipeline refactor.
+ *
+ * golden_results.txt pins a FNV-1a fingerprint of the canonical
+ * SimResult encoding for every suite workload under the three standard
+ * configs, captured before the Block/span/arena refactor landed. These
+ * tests re-run every workload and require bit-identical results -- any
+ * drift means simulatorVersionSalt must be bumped and the goldens
+ * recaptured (see docs/ARCHITECTURE.md for the rule).
+ *
+ * The cache_fixture/ directory holds a real .kagura-cache entry
+ * written by the pre-refactor simulator. Replaying it proves the
+ * persistent result cache keeps hitting across the refactor: same key
+ * text, same hash, same payload semantics, salt untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "runner/cache_store.hh"
+#include "runner/config_hash.hh"
+#include "runner/result_codec.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+
+namespace kagura
+{
+namespace
+{
+
+std::string
+dataPath(const char *name)
+{
+    return std::string(KAGURA_TEST_DATA_DIR) + "/" + name;
+}
+
+struct GoldenRow
+{
+    std::uint64_t base = 0;
+    std::uint64_t acc = 0;
+    std::uint64_t kagura = 0;
+};
+
+std::map<std::string, GoldenRow>
+loadGoldens()
+{
+    std::map<std::string, GoldenRow> rows;
+    std::ifstream in(dataPath("golden_results.txt"));
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        std::string app, base, acc, kag;
+        if (!(fields >> app >> base >> acc >> kag))
+            continue;
+        GoldenRow row;
+        row.base = std::stoull(base.substr(base.find('=') + 1), nullptr, 16);
+        row.acc = std::stoull(acc.substr(acc.find('=') + 1), nullptr, 16);
+        row.kagura =
+            std::stoull(kag.substr(kag.find('=') + 1), nullptr, 16);
+        rows[app] = row;
+    }
+    return rows;
+}
+
+std::uint64_t
+fingerprint(const SimConfig &config)
+{
+    Simulator sim(config);
+    return runner::fnv1a64(runner::encodeResult(sim.run()));
+}
+
+TEST(GoldenIdentity, EveryWorkloadMatchesPreRefactorFingerprints)
+{
+    const auto goldens = loadGoldens();
+    ASSERT_FALSE(goldens.empty()) << "golden_results.txt missing/empty";
+    ASSERT_EQ(goldens.size(), suiteApps().size())
+        << "golden table out of sync with the workload suite";
+
+    for (const std::string &app : suiteApps()) {
+        const auto it = goldens.find(app);
+        ASSERT_NE(it, goldens.end()) << app << " missing from goldens";
+        EXPECT_EQ(fingerprint(baselineConfig(app)), it->second.base)
+            << app << " (baseline) drifted: bump simulatorVersionSalt "
+            << "and recapture the goldens";
+        EXPECT_EQ(fingerprint(accConfig(app)), it->second.acc)
+            << app << " (ACC) drifted";
+        EXPECT_EQ(fingerprint(accKaguraConfig(app)), it->second.kagura)
+            << app << " (Kagura) drifted";
+    }
+}
+
+TEST(GoldenIdentity, SaltIsUntouchedByTheRefactor)
+{
+    // The refactor is behaviour-preserving, so the salt must still be
+    // the value the fixtures were captured under.
+    EXPECT_EQ(runner::simulatorVersionSalt, 2u);
+}
+
+TEST(GoldenIdentity, PreRefactorCacheEntryStillHits)
+{
+    // The fixture was written by the pre-refactor binary for
+    // accKaguraConfig("crc32"), job kind "plain".
+    const SimConfig config = accKaguraConfig("crc32");
+
+    // Key text must match byte-for-byte (canonicalKey + salt stable).
+    std::ifstream keyFile(dataPath("cache_fixture_key.txt"));
+    std::stringstream keyBuf;
+    keyBuf << keyFile.rdbuf();
+    const std::string fixtureKey = keyBuf.str();
+    ASSERT_FALSE(fixtureKey.empty());
+    EXPECT_EQ(runner::jobKeyText(config, "plain"), fixtureKey)
+        << "canonical key drifted; pre-refactor cache entries would "
+        << "miss";
+
+    // The store must find and verify the entry (a warm .kagura-cache
+    // replays without recompute)...
+    runner::CacheStore store(dataPath("cache_fixture"));
+    const std::uint64_t hash = runner::jobHash(config, "plain");
+    std::string payload;
+    ASSERT_TRUE(store.lookup(hash, fixtureKey, payload))
+        << "pre-refactor entry missed (hash or layout drifted)";
+
+    // ...and its payload must decode to exactly what a fresh run
+    // produces today.
+    SimResult cached;
+    ASSERT_TRUE(runner::decodeResult(payload, cached));
+    Simulator sim(config);
+    const SimResult fresh = sim.run();
+    EXPECT_TRUE(exactlyEqual(cached, fresh))
+        << "cached pre-refactor result differs from a fresh run";
+}
+
+} // namespace
+} // namespace kagura

@@ -8,7 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
 #include "common/logging.hh"
+#include "metrics/sink.hh"
 #include "sim/experiment.hh"
 
 namespace kagura
@@ -324,6 +330,69 @@ TEST_F(QuietTests, PairedSpeedupAveragesSeeds)
                 1e-12);
     EXPECT_NEAR(meanSpeedupPct(a, b), 0.0, 1e-12);
     EXPECT_NEAR(meanEnergyDeltaPct(a, b), 0.0, 1e-12);
+}
+
+/** Sink that appends every record to a caller-owned vector. */
+struct CaptureSink : metrics::Sink
+{
+    explicit CaptureSink(std::vector<metrics::Record> &out) : out(out) {}
+    void write(const metrics::Record &record) override
+    {
+        out.push_back(record);
+    }
+    std::vector<metrics::Record> &out;
+};
+
+TEST_F(QuietTests, TimeseriesEmitsOneRecordPerCycleAndSeries)
+{
+    std::vector<metrics::Record> records;
+    metrics::setDefaultSink(std::make_unique<CaptureSink>(records));
+    metrics::setTimeseriesEnabled(true);
+
+    Simulator sim(smallConfig());
+    const SimResult r = sim.run();
+
+    metrics::setTimeseriesEnabled(false);
+    metrics::setDefaultSink(nullptr);
+
+    ASSERT_GT(r.cycles.size(), 0u);
+    std::map<std::string, std::size_t> counts;
+    std::uint64_t instr_sum = 0;
+    std::set<std::string> indexes;
+    for (const metrics::Record &rec : records) {
+        if (rec.name.rfind("sim/cycle/", 0) != 0)
+            continue;
+        ++counts[rec.name];
+        EXPECT_EQ(rec.kind, metrics::RecordKind::Gauge);
+        ASSERT_TRUE(rec.labels.count("cycle_index"));
+        EXPECT_TRUE(rec.labels.count("workload"));
+        if (rec.name == "sim/cycle/instructions") {
+            instr_sum += static_cast<std::uint64_t>(rec.value);
+            indexes.insert(rec.labels.at("cycle_index"));
+        }
+    }
+    // One record per completed power cycle for each of the four
+    // series, each cycle_index distinct, and the per-cycle
+    // instruction counts resum to the whole run.
+    for (const char *name :
+         {"sim/cycle/instructions", "sim/cycle/loads",
+          "sim/cycle/stores", "sim/cycle/active_cycles"})
+        EXPECT_EQ(counts[name], r.cycles.size()) << name;
+    EXPECT_EQ(indexes.size(), r.cycles.size());
+    EXPECT_EQ(instr_sum, r.committedInstructions);
+}
+
+TEST_F(QuietTests, TimeseriesIsOffByDefault)
+{
+    std::vector<metrics::Record> records;
+    metrics::setDefaultSink(std::make_unique<CaptureSink>(records));
+
+    Simulator sim(smallConfig());
+    sim.run();
+
+    metrics::setDefaultSink(nullptr);
+    for (const metrics::Record &rec : records)
+        EXPECT_NE(rec.name.rfind("sim/cycle/", 0), 0u) << rec.name;
 }
 
 } // namespace

@@ -86,6 +86,9 @@ usage()
         "  --metrics-out PATH    write kagura.metrics/v1 records\n"
         "                        (.csv for CSV, else JSON lines;\n"
         "                        $KAGURA_METRICS_OUT)\n"
+        "  --metrics-timeseries  also export one record per power\n"
+        "                        cycle and series, labelled with\n"
+        "                        cycle_index ($KAGURA_METRICS_TIMESERIES)\n"
         "  --quiet               suppress the banner\n"
         "  --verbose             per-run inform() status output\n");
 }
@@ -312,6 +315,8 @@ main(int argc, char **argv)
             runner::CacheStore::global().setEnabled(false);
         } else if (is("--metrics-out")) {
             metrics_out = nextArg(argc, argv, i);
+        } else if (is("--metrics-timeseries")) {
+            metrics::setTimeseriesEnabled(true);
         } else if (is("--json")) {
             json = true;
         } else if (is("--json-cycles")) {
@@ -332,6 +337,10 @@ main(int argc, char **argv)
     if (metrics_out.empty()) {
         if (const char *env = std::getenv("KAGURA_METRICS_OUT"))
             metrics_out = env;
+    }
+    if (const char *env = std::getenv("KAGURA_METRICS_TIMESERIES")) {
+        if (std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0)
+            metrics::setTimeseriesEnabled(true);
     }
     if (!metrics_out.empty()) {
         auto sink = metrics::openSink(metrics_out);
