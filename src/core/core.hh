@@ -65,6 +65,10 @@ class Core
     /** Store-buffer entries saved at a JIT checkpoint. */
     static constexpr unsigned storeBufferEntries = 4;
 
+    /** Core-owned 32-bit words persisted at every JIT checkpoint. */
+    static constexpr unsigned checkpointWords =
+        architecturalRegisters + storeBufferEntries;
+
   private:
     /** Merge @p src's event counts into @p dst. */
     static void merge(AccessOutcome &dst, const AccessOutcome &src);

@@ -8,6 +8,29 @@
 namespace kagura
 {
 
+EhsCost
+EhsContext::checkpointCost(unsigned nvm_block_writes,
+                           unsigned decompressions,
+                           Cycles per_write_latency) const
+{
+    // Term order is part of the contract: the same floating-point
+    // summation order the pre-refactor NVSRAMCache/SweepCache paths
+    // used, so golden fingerprints captured before the helper existed
+    // keep matching bit for bit.
+    EhsCost cost;
+    cost.nvmBlockWrites = nvm_block_writes;
+    cost.decompressions = decompressions;
+    cost.energy += nvm_block_writes * nvm.writeEnergy;
+    cost.cycles += nvm_block_writes * per_write_latency;
+    if (hasCompression && decompressions > 0) {
+        cost.energy += decompressions * compression.decompressEnergy;
+        cost.cycles += decompressions * compression.decompressLatency;
+    }
+    cost.energy += regWords * energy.nvffWrite;
+    cost.cycles += regWords;
+    return cost;
+}
+
 const char *
 ehsKindName(EhsKind kind)
 {

@@ -57,10 +57,29 @@ struct EhsContext
     Cache &dcache;
     const EnergyModel &energy;
     const NvmParams &nvm;
-    /** Compression costs of the active algorithm (nullptr if none). */
-    const CompressionCosts *compression;
+    /**
+     * Compression costs of the active algorithm. Held by value so the
+     * context never dangles or aliases simulator-owned storage; only
+     * meaningful while hasCompression is true.
+     */
+    CompressionCosts compression{};
+    bool hasCompression = false;
     /** 32-bit words of core + controller state saved at checkpoints. */
-    unsigned regWords;
+    unsigned regWords = 0;
+
+    /**
+     * Cost of a checkpoint that persists @p nvm_block_writes dirty
+     * blocks (each at @p per_write_latency cycles -- full NVM write
+     * latency for serial JIT flushes, half of it for designs whose
+     * persist buffer pipelines the writes), decompresses
+     * @p decompressions blocks on the way out, and saves the regWords
+     * register file + controller state to NVFFs at one word per
+     * cycle. The one formula the JIT (NVSRAMCache), region-entry, and
+     * sweep checkpoint paths all share -- they must never drift.
+     */
+    EhsCost checkpointCost(unsigned nvm_block_writes,
+                           unsigned decompressions,
+                           Cycles per_write_latency) const;
 };
 
 /** Abstract EHS persistence design. */

@@ -49,21 +49,19 @@ NvmrEhs::onStore(Addr addr, EhsContext &ctx)
 EhsCost
 NvmrEhs::onPowerFailure(EhsContext &ctx)
 {
-    EhsCost cost;
     // Nothing dirty to flush: drop both caches. A handful of words of
     // renaming metadata (map-table head, free-list cursor) persist to
-    // NVFF-like cells together with the architectural registers.
+    // NVFF-like cells together with the architectural registers --
+    // the shared checkpoint formula with zero block writes.
     ctx.icache.invalidateAll();
     ctx.dcache.invalidateAll();
-    cost.energy += ctx.regWords * ctx.energy.nvffWrite;
-    cost.cycles += ctx.regWords;
 
     // The volatile merge buffer and map-table cache die with power.
     for (std::size_t i = 0; i < mergeEntries; ++i)
         mergeValid[i] = false;
     for (std::size_t i = 0; i < mtcEntries; ++i)
         mtcValid[i] = false;
-    return cost;
+    return ctx.checkpointCost(0, 0, 0);
 }
 
 EhsCost

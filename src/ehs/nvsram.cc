@@ -6,28 +6,16 @@ namespace kagura
 EhsCost
 NvsramEhs::onPowerFailure(EhsContext &ctx)
 {
-    EhsCost cost;
-
     // Flush dirty blocks of both caches to their nonvolatile
-    // counterparts; compressed victims decompress on the way out.
+    // counterparts; compressed victims decompress on the way out. The
+    // register file, store buffer, and controller registers ride into
+    // NVFFs as part of the shared checkpoint formula.
     const FlushOutcome iflush = ctx.icache.flushAndInvalidate();
     const FlushOutcome dflush = ctx.dcache.flushAndInvalidate();
-    const unsigned writes = iflush.nvmBlockWrites + dflush.nvmBlockWrites;
-    const unsigned decomp = iflush.decompressions + dflush.decompressions;
-
-    cost.nvmBlockWrites = writes;
-    cost.decompressions = decomp;
-    cost.energy += writes * ctx.nvm.writeEnergy;
-    cost.cycles += writes * ctx.nvm.writeLatency;
-    if (ctx.compression && decomp > 0) {
-        cost.energy += decomp * ctx.compression->decompressEnergy;
-        cost.cycles += decomp * ctx.compression->decompressLatency;
-    }
-
-    // Register file + store buffer + controller registers into NVFFs.
-    cost.energy += ctx.regWords * ctx.energy.nvffWrite;
-    cost.cycles += ctx.regWords; // one word per cycle through the NVFFs
-    return cost;
+    return ctx.checkpointCost(
+        iflush.nvmBlockWrites + dflush.nvmBlockWrites,
+        iflush.decompressions + dflush.decompressions,
+        ctx.nvm.writeLatency);
 }
 
 EhsCost

@@ -16,10 +16,9 @@ EhsCost
 SweepEhs::onInstructionCommit(std::uint64_t count, std::uint64_t op_index,
                               EhsContext &ctx)
 {
-    EhsCost cost;
     sinceBoundary += count;
     if (sinceBoundary < regionSize)
-        return cost;
+        return {};
 
     // Region boundary: checkpoint registers, then sweep dirty blocks
     // through the persist buffer (its 32 entries pipeline the writes,
@@ -29,20 +28,9 @@ SweepEhs::onInstructionCommit(std::uint64_t count, std::uint64_t op_index,
     ++sweepCount;
 
     const FlushOutcome sweep = ctx.dcache.cleanAll();
-    cost.nvmBlockWrites = sweep.nvmBlockWrites;
-    cost.decompressions = sweep.decompressions;
-    cost.energy += sweep.nvmBlockWrites * ctx.nvm.writeEnergy;
-    cost.cycles += sweep.nvmBlockWrites * (ctx.nvm.writeLatency / 2);
-    if (ctx.compression && sweep.decompressions > 0) {
-        cost.energy +=
-            sweep.decompressions * ctx.compression->decompressEnergy;
-        cost.cycles +=
-            sweep.decompressions * ctx.compression->decompressLatency;
-    }
-
-    cost.energy += ctx.regWords * ctx.energy.nvffWrite;
-    cost.cycles += ctx.regWords;
-    return cost;
+    return ctx.checkpointCost(sweep.nvmBlockWrites,
+                              sweep.decompressions,
+                              ctx.nvm.writeLatency / 2);
 }
 
 EhsCost

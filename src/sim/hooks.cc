@@ -1,0 +1,34 @@
+#include "sim/hooks.hh"
+
+namespace kagura
+{
+
+void
+SimHooks::attach(SimComponent &component)
+{
+    all.push_back(&component);
+    const unsigned mask = component.interests();
+    if (mask & simEventBit(SimEvent::Step))
+        stepSubs.push_back(&component);
+    if (mask & simEventBit(SimEvent::MemOp))
+        memOpSubs.push_back(&component);
+    if (mask & simEventBit(SimEvent::Fill))
+        fillSubs.push_back(&component);
+    if (mask & simEventBit(SimEvent::Evict))
+        evictSubs.push_back(&component);
+    if (mask & simEventBit(SimEvent::PowerFailure))
+        powerFailureSubs.push_back(&component);
+    if (mask & simEventBit(SimEvent::Reboot))
+        rebootSubs.push_back(&component);
+    if (mask & simEventBit(SimEvent::CycleClose))
+        cycleCloseSubs.push_back(&component);
+}
+
+void
+SimHooks::recordMetrics(metrics::MetricSet &set)
+{
+    for (SimComponent *c : all)
+        c->recordMetrics(set);
+}
+
+} // namespace kagura

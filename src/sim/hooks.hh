@@ -1,0 +1,188 @@
+/**
+ * @file
+ * SimHooks: the simulator's observer bus. The simulation core (main
+ * loop + PowerStateMachine + EnergyMeter) publishes lifecycle events;
+ * everything else -- Kagura, the per-cache governor chains' telemetry,
+ * decay, prefetching, the EHS design, metrics -- attaches as a
+ * SimComponent and reacts.
+ *
+ * Determinism contract: components fire in *registration order* for
+ * every event. Because several observers (Kagura above all) feed
+ * state back into the platform, registration order is part of the
+ * simulated machine's identity -- reordering attach() calls is a
+ * behavioural change and must bump simulatorVersionSalt like any
+ * other (see docs/ARCHITECTURE.md, "Component model").
+ *
+ * Dispatch cost: subscribers are flattened into one vector per event
+ * at attach() time, so publishing to an event nobody watches is a
+ * size() check on an empty vector -- the hot step path stays free for
+ * configurations with no observers.
+ */
+
+#ifndef KAGURA_SIM_HOOKS_HH
+#define KAGURA_SIM_HOOKS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/core.hh"
+#include "metrics/fwd.hh"
+#include "sim/sim_result.hh"
+
+namespace kagura
+{
+
+/** Lifecycle events a component can subscribe to. */
+enum class SimEvent : unsigned
+{
+    Step,         ///< a micro-op group committed
+    MemOp,        ///< the committed group was a load or store
+    Fill,         ///< the step brought >= 1 block in from NVM
+    Evict,        ///< the step evicted >= 1 cache block
+    PowerFailure, ///< V < V_ckpt: the JIT path is about to run
+    Reboot,       ///< V >= V_rst: EHS restore costs already paid
+    CycleClose,   ///< a power-cycle record was just sealed
+};
+
+/** Bitmask bit for @p event (compose interests with |). */
+constexpr unsigned
+simEventBit(SimEvent event)
+{
+    return 1u << static_cast<unsigned>(event);
+}
+
+/** Everything observers may inspect about one committed step. */
+struct SimStepContext
+{
+    /** The committed micro-op group. */
+    const MicroOp &op;
+
+    /** The core's cost/event report for the group. */
+    const StepResult &step;
+
+    /** Workload cursor of the group (index into Workload::ops()). */
+    std::uint64_t opIndex = 0;
+};
+
+/**
+ * A platform component attached to the bus. Handlers default to
+ * no-ops; interests() declares which events the bus should route
+ * here. recordMetrics() is not an event: the simulator calls it once
+ * per run, in registration order, to fill the per-run MetricSet --
+ * it must stay purely observational.
+ */
+class SimComponent
+{
+  public:
+    virtual ~SimComponent() = default;
+
+    /** Stable component name (diagnostics, tests). */
+    virtual const char *name() const = 0;
+
+    /** OR of simEventBit() values this component wants. */
+    virtual unsigned interests() const { return 0; }
+
+    virtual void onStep(const SimStepContext &ctx) { (void)ctx; }
+    virtual void onMemOp(const SimStepContext &ctx) { (void)ctx; }
+    virtual void onFill(const SimStepContext &ctx) { (void)ctx; }
+    virtual void onEvict(const SimStepContext &ctx) { (void)ctx; }
+    virtual void onPowerFailure() {}
+    virtual void onReboot() {}
+    virtual void onCycleClose(const PowerCycleRecord &record)
+    {
+        (void)record;
+    }
+
+    /** Contribute to the per-run MetricSet (end of run). */
+    virtual void recordMetrics(metrics::MetricSet &set) { (void)set; }
+};
+
+/** The observer bus. Components are borrowed, never owned. */
+class SimHooks
+{
+  public:
+    /**
+     * Register @p component. Registration order is the dispatch order
+     * for every event -- see the determinism contract above.
+     */
+    void attach(SimComponent &component);
+
+    /** All components, in registration order. */
+    const std::vector<SimComponent *> &
+    components() const
+    {
+        return all;
+    }
+
+    // Publish points (called by the simulation core) ------------------
+
+    void
+    step(const SimStepContext &ctx)
+    {
+        for (SimComponent *c : stepSubs)
+            c->onStep(ctx);
+    }
+
+    void
+    memOp(const SimStepContext &ctx)
+    {
+        for (SimComponent *c : memOpSubs)
+            c->onMemOp(ctx);
+    }
+
+    void
+    fill(const SimStepContext &ctx)
+    {
+        for (SimComponent *c : fillSubs)
+            c->onFill(ctx);
+    }
+
+    void
+    evict(const SimStepContext &ctx)
+    {
+        for (SimComponent *c : evictSubs)
+            c->onEvict(ctx);
+    }
+
+    void
+    powerFailure()
+    {
+        for (SimComponent *c : powerFailureSubs)
+            c->onPowerFailure();
+    }
+
+    void
+    reboot()
+    {
+        for (SimComponent *c : rebootSubs)
+            c->onReboot();
+    }
+
+    void
+    cycleClose(const PowerCycleRecord &record)
+    {
+        for (SimComponent *c : cycleCloseSubs)
+            c->onCycleClose(record);
+    }
+
+    /** Anyone listening for fills/evictions at all? */
+    bool wantsFill() const { return !fillSubs.empty(); }
+    bool wantsEvict() const { return !evictSubs.empty(); }
+
+    /** Run every component's recordMetrics, in registration order. */
+    void recordMetrics(metrics::MetricSet &set);
+
+  private:
+    std::vector<SimComponent *> all;
+    std::vector<SimComponent *> stepSubs;
+    std::vector<SimComponent *> memOpSubs;
+    std::vector<SimComponent *> fillSubs;
+    std::vector<SimComponent *> evictSubs;
+    std::vector<SimComponent *> powerFailureSubs;
+    std::vector<SimComponent *> rebootSubs;
+    std::vector<SimComponent *> cycleCloseSubs;
+};
+
+} // namespace kagura
+
+#endif // KAGURA_SIM_HOOKS_HH

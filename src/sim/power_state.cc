@@ -1,0 +1,121 @@
+#include "sim/power_state.hh"
+
+namespace kagura
+{
+
+PowerStateMachine::PowerStateMachine(
+    const SimConfig &config, EnergyMeter &meter_, Cache &icache,
+    Cache &dcache, Core &core_, EhsDesign &ehs_, SimHooks &hooks_,
+    SimResult &result_, const NvmParams &nvm_params,
+    CompressionCosts comp_costs, bool has_compression,
+    unsigned reg_words)
+    : cfg(config), meter(meter_), iCache(icache), dCache(dcache),
+      core(core_), ehs(ehs_), hooks(hooks_), result(result_),
+      ctx{icache,     dcache,          config.energy, nvm_params,
+          comp_costs, has_compression, reg_words}
+{
+}
+
+void
+PowerStateMachine::updateRegionsActive(std::uint64_t instructions,
+                                       std::uint64_t op_index)
+{
+    if (inRegion) {
+        regionInstr += instructions;
+        if (regionInstr >= cfg.ioRegionLength) {
+            inRegion = false;
+            regionInstr = 0;
+            instrSinceRegion = 0;
+        }
+        return;
+    }
+    instrSinceRegion += instructions;
+    if (instrSinceRegion < cfg.ioRegionInterval)
+        return;
+
+    // Region entry: take the extra checkpoint (registers + dirty
+    // blocks) so a failure inside can roll back consistently. Same
+    // shared formula as the JIT and sweep paths.
+    const FlushOutcome iclean = iCache.cleanAll();
+    const FlushOutcome dclean = dCache.cleanAll();
+    const EhsCost cost = ctx.checkpointCost(
+        iclean.nvmBlockWrites + dclean.nvmBlockWrites,
+        iclean.decompressions + dclean.decompressions,
+        ctx.nvm.writeLatency);
+    meter.spend(EnergyCategory::Checkpoint, cost.energy);
+    meter.chargeStaticPower(cost.cycles);
+    meter.advanceWall(cost.cycles);
+    result.activeCycles += cost.cycles;
+    current.activeCycles += cost.cycles;
+
+    inRegion = true;
+    regionStartIndex = op_index;
+    regionInstr = 0;
+}
+
+std::uint64_t
+PowerStateMachine::powerCycle(std::uint64_t next_index)
+{
+    const std::uint64_t resume = powerFail(next_index);
+    meter.rechargeUntilRestore();
+    reboot();
+    return resume;
+}
+
+std::uint64_t
+PowerStateMachine::powerFail(std::uint64_t op_index)
+{
+    // Observers first: Kagura JIT-checkpoints its registers from the
+    // pre-failure machine state.
+    hooks.powerFailure();
+
+    if (inRegion) {
+        // Inside an atomic region JIT checkpointing is disabled
+        // (Section VII-A): the volatile state is simply lost and
+        // execution rolls back to the region-entry checkpoint.
+        iCache.invalidateAll();
+        dCache.invalidateAll();
+        core.flushFetchBuffer();
+        regionInstr = 0;
+        closeCycle();
+        ++result.powerFailures;
+        (void)op_index;
+        return regionStartIndex;
+    }
+
+    const EhsCost cost = ehs.onPowerFailure(ctx);
+    meter.spend(EnergyCategory::Checkpoint, cost.energy);
+    meter.advanceWall(cost.cycles);
+    result.activeCycles += cost.cycles;
+
+    // The shadow state and fetch line buffer are volatile and die
+    // with the power; the GCPs are controller registers and ride the
+    // JIT checkpoint into NVFF like every other register.
+    core.flushFetchBuffer();
+
+    closeCycle();
+    ++result.powerFailures;
+    return ehs.resumeIndex(op_index);
+}
+
+void
+PowerStateMachine::reboot()
+{
+    const EhsCost cost = ehs.onReboot(ctx);
+    meter.spend(EnergyCategory::Checkpoint, cost.energy);
+    meter.advanceWall(cost.cycles);
+    result.activeCycles += cost.cycles;
+
+    // Observers last: the platform is back up when they hear Reboot.
+    hooks.reboot();
+}
+
+void
+PowerStateMachine::closeCycle()
+{
+    result.cycles.push_back(current);
+    hooks.cycleClose(result.cycles.back());
+    current = PowerCycleRecord{};
+}
+
+} // namespace kagura

@@ -10,20 +10,6 @@
 namespace kagura
 {
 
-const char *
-governorKindName(GovernorKind kind)
-{
-    switch (kind) {
-      case GovernorKind::None:
-        return "none";
-      case GovernorKind::Always:
-        return "always";
-      case GovernorKind::Acc:
-        return "ACC";
-    }
-    panic("unknown GovernorKind %d", static_cast<int>(kind));
-}
-
 std::string
 SimConfig::describe() const
 {

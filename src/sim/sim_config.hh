@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cache/cache.hh"
+#include "cache/chain.hh"
 #include "cache/decay.hh"
 #include "energy/capacitor.hh"
 #include "energy/energy_model.hh"
@@ -24,24 +25,8 @@
 namespace kagura
 {
 
-/** Which compression policy drives the caches. */
-enum class GovernorKind
-{
-    None,   ///< no compressor at all (the paper's baseline)
-    Always, ///< compress unconditionally (plain BDI/FPC/...)
-    Acc,    ///< adaptive compression via the GCP [10]
-};
-
-/** Human-readable governor name. */
-const char *governorKindName(GovernorKind kind);
-
-/** How the ideal-oracle two-phase methodology is engaged. */
-enum class OracleMode
-{
-    Off,
-    Record, ///< phase 1: tally per-block compression outcomes
-    Replay, ///< phase 2: veto compressions the log deems useless
-};
+// GovernorKind and OracleMode live with the chain factory in
+// cache/chain.hh; re-exported here for configuration consumers.
 
 /** Everything one simulation run needs. */
 struct SimConfig

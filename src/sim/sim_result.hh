@@ -1,0 +1,100 @@
+/**
+ * @file
+ * What one simulation run produces: the per-power-cycle records
+ * (Figs. 12, 13-bottom, 14) and the aggregate SimResult. Split from
+ * the simulator so result consumers (runner codec, reports, metrics)
+ * need not see the simulation machinery.
+ */
+
+#ifndef KAGURA_SIM_SIM_RESULT_HH
+#define KAGURA_SIM_SIM_RESULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "energy/ledger.hh"
+#include "kagura/kagura.hh"
+#include "kagura/oracle.hh"
+
+namespace kagura
+{
+
+/** Per-power-cycle record (Figs. 12, 13-bottom, 14). */
+struct PowerCycleRecord
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    Cycles activeCycles = 0;
+
+    /** Cycles-per-instruction within the cycle. */
+    double
+    cpi() const
+    {
+        return instructions ? static_cast<double>(activeCycles) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+};
+
+/** Everything one run produced. */
+struct SimResult
+{
+    std::string workload;
+
+    /** Wall-clock cycles, including recharge (the speedup metric). */
+    Cycles wallCycles = 0;
+
+    /** Cycles the core was actually executing. */
+    Cycles activeCycles = 0;
+
+    std::uint64_t committedInstructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+
+    /** Completed power cycles (= number of power failures). */
+    std::uint64_t powerFailures = 0;
+
+    /** Per-cycle records, in order (the final partial cycle included). */
+    std::vector<PowerCycleRecord> cycles;
+
+    CacheStats icache;
+    CacheStats dcache;
+    EnergyLedger ledger;
+
+    KaguraStats kagura;
+    std::uint64_t oracleVetoes = 0;
+
+    /** Phase-1 oracle log (OracleMode::Record only). */
+    OracleLog oracle;
+
+    /** Average committed instructions per completed power cycle. */
+    double
+    instructionsPerCycle() const
+    {
+        if (powerFailures == 0)
+            return static_cast<double>(committedInstructions);
+        double sum = 0.0;
+        std::uint64_t n = 0;
+        for (const PowerCycleRecord &rec : cycles) {
+            if (n == powerFailures)
+                break;
+            sum += static_cast<double>(rec.instructions);
+            ++n;
+        }
+        return n ? sum / static_cast<double>(n) : 0.0;
+    }
+
+    /** Total compressions across both caches. */
+    std::uint64_t
+    compressions() const
+    {
+        return icache.compressions + dcache.compressions;
+    }
+};
+
+} // namespace kagura
+
+#endif // KAGURA_SIM_SIM_RESULT_HH

@@ -6,18 +6,16 @@
 #include "compress/compressor.hh"
 #include "core/workload.hh"
 #include "metrics/registry.hh"
-#include "metrics/sink.hh"
 
 namespace kagura
 {
 
-Simulator::Simulator(const SimConfig &config)
-    : cfg(config), cap(config.capacitor)
+Simulator::Simulator(const SimConfig &config) : cfg(config)
 {
     mset = std::make_unique<metrics::MetricSet>();
     mem = std::make_unique<Nvm>(cfg.nvmType, cfg.nvmBytes);
 
-    // Compression stack: algorithm + governor chain.
+    // Compression stack: algorithm + per-cache governor chains.
     if (cfg.governor != GovernorKind::None)
         comp = makeCompressor(cfg.compressor);
 
@@ -32,8 +30,13 @@ Simulator::Simulator(const SimConfig &config)
     if (cfg.oracle == OracleMode::Replay && !cfg.oracleLog)
         fatal("OracleMode::Replay needs a phase-1 log");
 
-    ichain = makeChain();
-    dchain = makeChain();
+    GovernorChainSpec chain_spec;
+    chain_spec.governor = cfg.governor;
+    chain_spec.oracle = cfg.oracle;
+    chain_spec.kagura = kaguraCtl.get();
+    chain_spec.oracleLog = cfg.oracleLog;
+    ichain = makeGovernorChain(chain_spec);
+    dchain = makeGovernorChain(chain_spec);
 
     iCache = std::make_unique<Cache>(cfg.icache, *mem, comp.get(),
                                      ichain.head);
@@ -41,310 +44,62 @@ Simulator::Simulator(const SimConfig &config)
                                      dchain.head);
     core = std::make_unique<Core>(*iCache, *dCache);
 
-    if (cfg.enableDecay) {
-        decayCtl = std::make_unique<DecayController>(cfg.decay);
-        dCache->setDecay(decayCtl.get());
-    }
-    if (cfg.enablePrefetch) {
-        // IPEX's intermittence gate: prefetch only while the capacitor
-        // still holds comfortable margin above the checkpoint level.
-        const double v_gate =
-            cfg.capacitor.vCheckpoint +
-            0.4 * (cfg.capacitor.vRestore - cfg.capacitor.vCheckpoint);
-        prefetcher = std::make_unique<Prefetcher>(
-            cfg.dcache.blockSize, [this, v_gate]() {
-                return cfg.infiniteEnergy || cap.voltage() > v_gate;
-            });
-        dCache->setPrefetcher(prefetcher.get());
+    meter = std::make_unique<EnergyMeter>(
+        cfg.capacitor, cfg.energy,
+        cfg.energy.cacheLeakagePerByte *
+            (cfg.icache.sizeBytes + cfg.dcache.sizeBytes),
+        mem->params().standbyPower,
+        makeTrace(cfg.trace, cfg.traceIntervals, cfg.traceSeed,
+                  cfg.traceScale),
+        result.ledger, cfg.infiniteEnergy);
+
+    // Components, attached in the canonical order (the determinism
+    // contract -- docs/ARCHITECTURE.md, "Component model").
+    telemetry = std::make_unique<TelemetryComponent>(cfg, result);
+    bus.attach(*telemetry);
+
+    const bool vol_trigger =
+        cfg.enableKagura && cfg.kagura.trigger == TriggerKind::Voltage;
+    if (kaguraCtl) {
+        kaguraComp = std::make_unique<KaguraComponent>(
+            *kaguraCtl, *meter, cfg.capacitor, vol_trigger);
+        bus.attach(*kaguraComp);
     }
 
-    ehs = makeEhs(cfg.ehs);
-    trace = makeTrace(cfg.trace, cfg.traceIntervals, cfg.traceSeed,
-                      cfg.traceScale);
+    compStack = std::make_unique<CompressionStackComponent>(
+        ichain, dchain, comp.get());
+    bus.attach(*compStack);
+
+    if (cfg.enableDecay) {
+        decayComp =
+            std::make_unique<DecayComponent>(cfg.decay, *dCache);
+        bus.attach(*decayComp);
+    }
+    if (cfg.enablePrefetch) {
+        prefetchComp =
+            std::make_unique<PrefetchComponent>(cfg, *meter, *dCache);
+        bus.attach(*prefetchComp);
+    }
+
+    ehsComp = std::make_unique<EhsComponent>(cfg.ehs);
+    bus.attach(*ehsComp);
 
     // Words saved at a JIT checkpoint: architectural registers, store
     // buffer, and (when present) Kagura's five registers + counter.
-    regWords = Core::architecturalRegisters + Core::storeBufferEntries;
+    regWords = Core::checkpointWords;
     if (cfg.governor == GovernorKind::Acc)
         regWords += 2; // one GCP per cache controller
     if (cfg.enableKagura)
         regWords += 6; // five registers + the 2-bit counter
-}
 
-Simulator::GovernorChain
-Simulator::makeChain()
-{
-    GovernorChain chain;
-    switch (cfg.governor) {
-      case GovernorKind::None:
-        return chain;
-      case GovernorKind::Always:
-        chain.fixed = std::make_unique<FixedGovernor>(true);
-        chain.head = chain.fixed.get();
-        break;
-      case GovernorKind::Acc:
-        chain.acc = std::make_unique<AccController>();
-        chain.head = chain.acc.get();
-        break;
-    }
-    if (kaguraCtl) {
-        chain.gate =
-            std::make_unique<KaguraGate>(*kaguraCtl, chain.head);
-        chain.head = chain.gate.get();
-    }
-    switch (cfg.oracle) {
-      case OracleMode::Off:
-        break;
-      case OracleMode::Record:
-        chain.recorder = std::make_unique<OracleRecorder>(chain.head);
-        chain.head = chain.recorder.get();
-        break;
-      case OracleMode::Replay:
-        chain.replayer =
-            std::make_unique<OracleReplayer>(*cfg.oracleLog, chain.head);
-        chain.head = chain.replayer.get();
-        break;
-    }
-    return chain;
+    psm = std::make_unique<PowerStateMachine>(
+        cfg, *meter, *iCache, *dCache, *core, ehsComp->design(), bus,
+        result, mem->params(),
+        comp ? comp->costs() : CompressionCosts{}, comp != nullptr,
+        regWords);
 }
 
 Simulator::~Simulator() = default;
-
-void
-Simulator::spend(EnergyCategory cat, PicoJoules pj)
-{
-    if (pj <= 0.0)
-        return;
-    result.ledger.add(cat, pj);
-    if (!cfg.infiniteEnergy)
-        cap.discharge(picoToJoules(pj));
-}
-
-void
-Simulator::chargeStaticPower(Cycles n)
-{
-    if (n == 0)
-        return;
-    const double dt = static_cast<double>(n) * cfg.energy.cycleTime();
-    const double cache_leak =
-        cfg.energy.cacheLeakagePerByte *
-        (cfg.icache.sizeBytes + cfg.dcache.sizeBytes);
-    spend(EnergyCategory::CacheOther, joulesToPico(cache_leak * dt));
-    spend(EnergyCategory::Memory,
-          joulesToPico(mem->params().standbyPower * dt));
-    spend(EnergyCategory::Others,
-          joulesToPico(
-              (cfg.energy.coreLeakage + cap.leakagePower()) * dt));
-}
-
-void
-Simulator::advanceWall(Cycles n)
-{
-    const Cycles ivl = cfg.energy.cyclesPerTraceInterval();
-    const Cycles end = wall + n;
-    while ((harvestedIntervals + 1) * ivl <= end) {
-        cap.charge(trace->power(harvestedIntervals) *
-                   cfg.energy.traceInterval);
-        ++harvestedIntervals;
-    }
-    wall = end;
-}
-
-void
-Simulator::rechargeUntilRestore()
-{
-    const Cycles ivl = cfg.energy.cyclesPerTraceInterval();
-    std::uint64_t guard = 0;
-    while (!cap.aboveRestore()) {
-        advanceWall(ivl);
-        // Off-state losses: the capacitor's own leakage (everything
-        // else is power-gated).
-        const double leak =
-            cap.leakagePower() * cfg.energy.traceInterval;
-        cap.discharge(leak);
-        result.ledger.add(EnergyCategory::Others, joulesToPico(leak));
-        if (++guard > 50'000'000)
-            fatal("power trace '%s' cannot recharge the %g uF capacitor "
-                  "to %g V -- harvest too weak for this configuration",
-                  trace->name().c_str(),
-                  cfg.capacitor.capacitance * 1e6,
-                  cfg.capacitor.vRestore);
-    }
-}
-
-std::uint64_t
-Simulator::powerFail(std::uint64_t op_index)
-{
-    if (kaguraCtl)
-        kaguraCtl->onPowerFailure();
-
-    EhsContext ctx{*iCache, *dCache, cfg.energy, mem->params(),
-                   comp ? &compCostsStorage : nullptr, regWords};
-    if (comp)
-        compCostsStorage = comp->costs();
-
-    if (inRegion) {
-        // Inside an atomic region JIT checkpointing is disabled
-        // (Section VII-A): the volatile state is simply lost and
-        // execution rolls back to the region-entry checkpoint.
-        iCache->invalidateAll();
-        dCache->invalidateAll();
-        core->flushFetchBuffer();
-        regionInstr = 0;
-        closeCycle();
-        ++result.powerFailures;
-        (void)op_index;
-        return regionStartIndex;
-    }
-
-    const EhsCost cost = ehs->onPowerFailure(ctx);
-    spend(EnergyCategory::Checkpoint, cost.energy);
-    advanceWall(cost.cycles);
-    result.activeCycles += cost.cycles;
-
-    // The shadow state and fetch line buffer are volatile and die
-    // with the power; the GCPs are controller registers and ride the
-    // JIT checkpoint into NVFF like every other register.
-    core->flushFetchBuffer();
-
-    closeCycle();
-    ++result.powerFailures;
-    return ehs->resumeIndex(op_index);
-}
-
-void
-Simulator::reboot()
-{
-    EhsContext ctx{*iCache, *dCache, cfg.energy, mem->params(),
-                   comp ? &compCostsStorage : nullptr, regWords};
-    const EhsCost cost = ehs->onReboot(ctx);
-    spend(EnergyCategory::Checkpoint, cost.energy);
-    advanceWall(cost.cycles);
-    result.activeCycles += cost.cycles;
-    if (kaguraCtl)
-        kaguraCtl->onReboot();
-}
-
-void
-Simulator::updateRegions(std::uint64_t instructions,
-                         std::uint64_t op_index)
-{
-    if (cfg.ioRegionInterval == 0)
-        return;
-    if (inRegion) {
-        regionInstr += instructions;
-        if (regionInstr >= cfg.ioRegionLength) {
-            inRegion = false;
-            regionInstr = 0;
-            instrSinceRegion = 0;
-        }
-        return;
-    }
-    instrSinceRegion += instructions;
-    if (instrSinceRegion < cfg.ioRegionInterval)
-        return;
-
-    // Region entry: take the extra checkpoint (registers + dirty
-    // blocks) so a failure inside can roll back consistently.
-    const FlushOutcome iclean = iCache->cleanAll();
-    const FlushOutcome dclean = dCache->cleanAll();
-    const unsigned writes = iclean.nvmBlockWrites + dclean.nvmBlockWrites;
-    const NvmParams &nvm_p = mem->params();
-    PicoJoules energy = writes * nvm_p.writeEnergy +
-                        regWords * cfg.energy.nvffWrite;
-    Cycles cycles = writes * nvm_p.writeLatency + regWords;
-    if (comp) {
-        const unsigned decomp =
-            iclean.decompressions + dclean.decompressions;
-        energy += decomp * comp->costs().decompressEnergy;
-        cycles += decomp * comp->costs().decompressLatency;
-    }
-    spend(EnergyCategory::Checkpoint, energy);
-    chargeStaticPower(cycles);
-    advanceWall(cycles);
-    result.activeCycles += cycles;
-    current.activeCycles += cycles;
-
-    inRegion = true;
-    regionStartIndex = op_index;
-    regionInstr = 0;
-}
-
-void
-Simulator::closeCycle()
-{
-    result.cycles.push_back(current);
-    current = PowerCycleRecord{};
-}
-
-void
-Simulator::recordRunMetrics(double run_seconds)
-{
-    metrics::MetricSet &set = *mset;
-    set.labels()["workload"] = result.workload;
-    set.labels()["config"] = cfg.describe();
-
-    set.counter("sim/instructions").add(result.committedInstructions);
-    set.counter("sim/loads").add(result.loads);
-    set.counter("sim/stores").add(result.stores);
-    set.counter("sim/power_failures").add(result.powerFailures);
-    set.gauge("sim/wall_cycles")
-        .set(static_cast<double>(result.wallCycles));
-    set.gauge("sim/active_cycles")
-        .set(static_cast<double>(result.activeCycles));
-    set.gauge("sim/instructions_per_cycle")
-        .set(result.instructionsPerCycle());
-    if (result.oracleVetoes)
-        set.counter("sim/oracle_vetoes").add(result.oracleVetoes);
-
-    // Perf trajectory: how committed work distributes over the power
-    // cycles the run survived (Fig. 12-style shape, bucketed).
-    metrics::FixedHistogram &per_cycle = set.histogram(
-        "sim/cycle_instructions",
-        {10.0, 100.0, 1000.0, 10000.0, 100000.0});
-    for (const PowerCycleRecord &rec : result.cycles)
-        per_cycle.observe(static_cast<double>(rec.instructions));
-
-    // Optional per-power-cycle time series (--metrics-timeseries):
-    // one gauge record per completed cycle and series, indexed by a
-    // cycle_index label so downstream tools can reconstruct the
-    // trajectory exactly instead of through histogram buckets.
-    if (metrics::timeseriesEnabled() && metrics::defaultSink()) {
-        std::size_t index = 0;
-        for (const PowerCycleRecord &rec : result.cycles) {
-            const auto emit = [&](const char *name, double value) {
-                metrics::Record record;
-                record.kind = metrics::RecordKind::Gauge;
-                record.name = name;
-                record.labels = set.labels();
-                record.labels["cycle_index"] = std::to_string(index);
-                record.value = value;
-                metrics::emitRecord(std::move(record));
-            };
-            emit("sim/cycle/instructions",
-                 static_cast<double>(rec.instructions));
-            emit("sim/cycle/loads", static_cast<double>(rec.loads));
-            emit("sim/cycle/stores", static_cast<double>(rec.stores));
-            emit("sim/cycle/active_cycles",
-                 static_cast<double>(rec.activeCycles));
-            ++index;
-        }
-    }
-
-    result.icache.recordMetrics(set, "sim/icache");
-    result.dcache.recordMetrics(set, "sim/dcache");
-    result.ledger.recordMetrics(set, "sim/energy");
-    if (cfg.enableKagura)
-        result.kagura.recordMetrics(set, "sim/kagura");
-    if (ichain.acc)
-        ichain.acc->recordMetrics(set, "sim/icache/acc");
-    if (dchain.acc)
-        dchain.acc->recordMetrics(set, "sim/dcache/acc");
-    if (comp)
-        comp->recordMetrics(set, "sim/compressor");
-
-    set.timer("sim/run_seconds").observe(run_seconds);
-}
 
 SimResult
 Simulator::run()
@@ -353,8 +108,6 @@ Simulator::run()
     const Workload &wl = cachedWorkload(cfg.workload);
     result.workload = wl.name();
     wl.applyImage(*mem);
-    if (comp)
-        compCostsStorage = comp->costs();
 
     const auto &ops = wl.ops();
     const CompressionCosts ccosts =
@@ -365,20 +118,15 @@ Simulator::run()
         cfg.energy.cacheAccessEnergy(cfg.dcache.sizeBytes);
     const NvmParams &nvm_p = mem->params();
 
-    const bool vol_trigger =
-        cfg.enableKagura &&
-        cfg.kagura.trigger == TriggerKind::Voltage;
-    const bool pays_monitor = ehs->hasVoltageMonitor();
+    const bool pays_monitor = ehsComp->design().hasVoltageMonitor();
     const bool pays_extended_monitor =
-        vol_trigger && !ehs->hasVoltageMonitor();
-
-    EhsContext ctx{*iCache, *dCache, cfg.energy, nvm_p,
-                   comp ? &compCostsStorage : nullptr, regWords};
+        cfg.enableKagura &&
+        cfg.kagura.trigger == TriggerKind::Voltage && !pays_monitor;
 
     std::uint64_t idx = 0;
     while (idx < ops.size()) {
         const MicroOp &op = ops[idx];
-        const StepResult sr = core->step(op, wall);
+        const StepResult sr = core->step(op, meter->wall());
 
         // --- dynamic energy for this step -------------------------------
         const std::uint64_t icache_accesses = sr.icacheArrayAccesses;
@@ -393,88 +141,66 @@ Simulator::run()
         const unsigned nvm_writes =
             sr.icache.nvmBlockWrites + sr.dcache.nvmBlockWrites;
 
-        spend(EnergyCategory::CacheOther,
-              static_cast<double>(icache_accesses) * icache_access +
-                  (sr.isMem ? dcache_access : 0.0));
+        meter->spend(
+            EnergyCategory::CacheOther,
+            static_cast<double>(icache_accesses) * icache_access +
+                (sr.isMem ? dcache_access : 0.0));
         if (compressions > 0)
-            spend(EnergyCategory::Compress,
-                  compressions * ccosts.compressEnergy +
-                      compactions * cfg.energy.compactionEnergy);
+            meter->spend(EnergyCategory::Compress,
+                         compressions * ccosts.compressEnergy +
+                             compactions * cfg.energy.compactionEnergy);
         if (decompressions > 0)
-            spend(EnergyCategory::Decompress,
-                  decompressions * ccosts.decompressEnergy);
+            meter->spend(EnergyCategory::Decompress,
+                         decompressions * ccosts.decompressEnergy);
         if (nvm_reads || nvm_writes)
-            spend(EnergyCategory::Memory,
-                  nvm_reads * nvm_p.readEnergy +
-                      nvm_writes * nvm_p.writeEnergy);
-        spend(EnergyCategory::Others,
-              static_cast<double>(sr.instructions) *
-                  cfg.energy.corePerInstr);
+            meter->spend(EnergyCategory::Memory,
+                         nvm_reads * nvm_p.readEnergy +
+                             nvm_writes * nvm_p.writeEnergy);
+        meter->spend(EnergyCategory::Others,
+                     static_cast<double>(sr.instructions) *
+                         cfg.energy.corePerInstr);
         if (pays_monitor)
-            spend(EnergyCategory::Others,
-                  static_cast<double>(sr.instructions) *
-                      cfg.energy.monitorSample);
+            meter->spend(EnergyCategory::Others,
+                         static_cast<double>(sr.instructions) *
+                             cfg.energy.monitorSample);
         if (pays_extended_monitor)
-            spend(EnergyCategory::Others,
-                  static_cast<double>(sr.instructions) *
-                      cfg.energy.extendedMonitorSample);
+            meter->spend(EnergyCategory::Others,
+                         static_cast<double>(sr.instructions) *
+                             cfg.energy.extendedMonitorSample);
 
         // --- EHS persistence hooks --------------------------------------
         Cycles extra_cycles = 0;
-        if (sr.isStore) {
-            const EhsCost c = ehs->onStore(op.addr, ctx);
-            spend(EnergyCategory::Memory, c.energy);
-            extra_cycles += c.cycles;
-        }
-        {
-            const EhsCost c =
-                ehs->onInstructionCommit(sr.instructions, idx + 1, ctx);
-            spend(EnergyCategory::Checkpoint, c.energy);
-            extra_cycles += c.cycles;
-        }
+        if (sr.isStore)
+            extra_cycles += psm->noteStore(op.addr);
+        extra_cycles += psm->noteCommit(sr.instructions, idx + 1);
 
-        updateRegions(sr.instructions, idx + 1);
+        psm->updateRegions(sr.instructions, idx + 1);
 
-        // --- Kagura observation points ----------------------------------
-        if (kaguraCtl) {
-            if (sr.isMem)
-                kaguraCtl->onMemOpCommit();
-            if (vol_trigger)
-                kaguraCtl->onVoltageSample(cap.voltage(),
-                                           cfg.capacitor.vCheckpoint,
-                                           cfg.capacitor.vRestore);
-        }
+        // --- observer bus -----------------------------------------------
+        const SimStepContext step_ctx{op, sr, idx};
+        if (bus.wantsFill() && nvm_reads > 0)
+            bus.fill(step_ctx);
+        if (bus.wantsEvict() &&
+            sr.icache.evictions + sr.dcache.evictions > 0)
+            bus.evict(step_ctx);
+        if (sr.isMem)
+            bus.memOp(step_ctx);
+        bus.step(step_ctx);
 
         // --- time, leakage, counters ------------------------------------
         const Cycles step_cycles = sr.cycles + extra_cycles;
-        chargeStaticPower(step_cycles);
-        advanceWall(step_cycles);
-        result.activeCycles += step_cycles;
-
-        result.committedInstructions += sr.instructions;
-        current.instructions += sr.instructions;
-        current.activeCycles += step_cycles;
-        if (sr.isMem) {
-            if (sr.isStore) {
-                ++result.stores;
-                ++current.stores;
-            } else {
-                ++result.loads;
-                ++current.loads;
-            }
-        }
+        meter->chargeStaticPower(step_cycles);
+        meter->advanceWall(step_cycles);
+        psm->recordStep(sr, step_cycles);
         ++idx;
 
         // --- power state machine ----------------------------------------
-        if (!cfg.infiniteEnergy && cap.belowCheckpoint()) {
-            idx = powerFail(idx);
-            rechargeUntilRestore();
-            reboot();
-        }
+        if (psm->failureImminent())
+            idx = psm->powerCycle(idx);
     }
 
-    closeCycle();
-    result.wallCycles = wall;
+    psm->closeCycle();
+    result.wallCycles = meter->wall();
     result.icache = iCache->stats();
     result.dcache = dCache->stats();
     if (kaguraCtl)
@@ -487,9 +213,12 @@ Simulator::run()
         result.oracle = ichain.recorder->log();
         result.oracle.merge(dchain.recorder->log());
     }
-    recordRunMetrics(std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - run_start)
-                         .count());
+
+    bus.recordMetrics(*mset);
+    mset->timer("sim/run_seconds")
+        .observe(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - run_start)
+                     .count());
     if (cfg.verbose)
         inform("run %s: %llu instrs, %llu wall cycles, %llu power "
                "failures",

@@ -1,108 +1,43 @@
 /**
  * @file
- * The EHS simulator: glues the core, caches, compression stack, EHS
- * persistence design, Kagura, and the energy subsystem into the power
- * state machine of Section II-A:
+ * The EHS simulator, layered (see docs/ARCHITECTURE.md, "Component
+ * model"):
  *
- *   run -> (V < V_ckpt) -> JIT checkpoint -> off -> recharge to V_rst
- *       -> restore -> run ...
+ *  - EnergyMeter (src/energy/meter.hh): capacitor + harvest trace +
+ *    wall clock + ledger coupling.
+ *  - PowerStateMachine (src/sim/power_state.hh): the Section II-A
+ *    run/checkpoint/off/recharge/restore loop, atomic regions, and
+ *    power-cycle records.
+ *  - SimHooks (src/sim/hooks.hh): observer bus the platform
+ *    components (Kagura, compression stack, decay, prefetch, EHS,
+ *    telemetry) register with.
  *
- * Time is metered in core cycles; wall time includes the recharge
- * phases, so "speedup" across configurations with identical ambient
- * input reflects energy efficiency exactly as in the paper.
+ * The Simulator itself is the composition root: it builds the
+ * platform from a SimConfig, wires the layers, and drives the
+ * committed micro-op stream through them. Time is metered in core
+ * cycles; wall time includes the recharge phases, so "speedup" across
+ * configurations with identical ambient input reflects energy
+ * efficiency exactly as in the paper.
  */
 
 #ifndef KAGURA_SIM_SIMULATOR_HH
 #define KAGURA_SIM_SIMULATOR_HH
 
 #include <memory>
-#include <vector>
 
-#include "cache/acc.hh"
-#include "cache/prefetcher.hh"
+#include "cache/chain.hh"
 #include "core/core.hh"
-#include "energy/capacitor.hh"
-#include "energy/ledger.hh"
+#include "energy/meter.hh"
 #include "mem/nvm.hh"
 #include "metrics/fwd.hh"
+#include "sim/components.hh"
+#include "sim/hooks.hh"
+#include "sim/power_state.hh"
 #include "sim/sim_config.hh"
+#include "sim/sim_result.hh"
 
 namespace kagura
 {
-
-/** Per-power-cycle record (Figs. 12, 13-bottom, 14). */
-struct PowerCycleRecord
-{
-    std::uint64_t instructions = 0;
-    std::uint64_t loads = 0;
-    std::uint64_t stores = 0;
-    Cycles activeCycles = 0;
-
-    /** Cycles-per-instruction within the cycle. */
-    double
-    cpi() const
-    {
-        return instructions ? static_cast<double>(activeCycles) /
-                                  static_cast<double>(instructions)
-                            : 0.0;
-    }
-};
-
-/** Everything one run produced. */
-struct SimResult
-{
-    std::string workload;
-
-    /** Wall-clock cycles, including recharge (the speedup metric). */
-    Cycles wallCycles = 0;
-
-    /** Cycles the core was actually executing. */
-    Cycles activeCycles = 0;
-
-    std::uint64_t committedInstructions = 0;
-    std::uint64_t loads = 0;
-    std::uint64_t stores = 0;
-
-    /** Completed power cycles (= number of power failures). */
-    std::uint64_t powerFailures = 0;
-
-    /** Per-cycle records, in order (the final partial cycle included). */
-    std::vector<PowerCycleRecord> cycles;
-
-    CacheStats icache;
-    CacheStats dcache;
-    EnergyLedger ledger;
-
-    KaguraStats kagura;
-    std::uint64_t oracleVetoes = 0;
-
-    /** Phase-1 oracle log (OracleMode::Record only). */
-    OracleLog oracle;
-
-    /** Average committed instructions per completed power cycle. */
-    double
-    instructionsPerCycle() const
-    {
-        if (powerFailures == 0)
-            return static_cast<double>(committedInstructions);
-        double sum = 0.0;
-        std::uint64_t n = 0;
-        for (const PowerCycleRecord &rec : cycles) {
-            if (n == powerFailures)
-                break;
-            sum += static_cast<double>(rec.instructions);
-            ++n;
-        }
-        return n ? sum / static_cast<double>(n) : 0.0;
-    }
-
-    /** Total compressions across both caches. */
-    std::uint64_t
-    compressions() const
-    {
-        return icache.compressions + dcache.compressions;
-    }
-};
 
 /** One-shot simulator (construct, run once). */
 class Simulator
@@ -120,6 +55,9 @@ class Simulator
     /** The data cache (post-run inspection in tests). */
     const Cache &dcache() const { return *dCache; }
 
+    /** The observer bus (component introspection in tests). */
+    const SimHooks &hooks() const { return bus; }
+
     /**
      * Per-run telemetry, populated at the end of run(): counters and
      * gauges mirroring the SimResult plus wall-clock timing. Purely
@@ -129,48 +67,7 @@ class Simulator
     const metrics::MetricSet &metricSet() const { return *mset; }
 
   private:
-    /** Account @p pj into @p cat and draw it from the capacitor. */
-    void spend(EnergyCategory cat, PicoJoules pj);
-
-    /** Leakage + standby power over @p n active cycles. */
-    void chargeStaticPower(Cycles n);
-
-    /** Advance wall time by @p n cycles, harvesting from the trace. */
-    void advanceWall(Cycles n);
-
-    /** Hibernate until the capacitor recovers to V_rst. */
-    void rechargeUntilRestore();
-
-    /** JIT path on V < V_ckpt; returns the resume op index. */
-    std::uint64_t powerFail(std::uint64_t op_index);
-
-    /** Atomic-region bookkeeping per step (Section VII-A). */
-    void updateRegions(std::uint64_t instructions, std::uint64_t op_index);
-
-    /** Restore after recharge. */
-    void reboot();
-
-    /** Close the current power-cycle record. */
-    void closeCycle();
-
-    /** Fill the per-run MetricSet from the finished SimResult. */
-    void recordRunMetrics(double run_seconds);
-
     SimConfig cfg;
-
-    /** Per-cache governor chain (each cache has its own ACC GCP). */
-    struct GovernorChain
-    {
-        std::unique_ptr<AccController> acc;
-        std::unique_ptr<FixedGovernor> fixed;
-        std::unique_ptr<KaguraGate> gate;
-        std::unique_ptr<OracleRecorder> recorder;
-        std::unique_ptr<OracleReplayer> replayer;
-        CompressionGovernor *head = nullptr;
-    };
-
-    /** Build one cache's chain. */
-    GovernorChain makeChain();
 
     std::unique_ptr<Nvm> mem;
     std::unique_ptr<Compressor> comp;
@@ -181,28 +78,28 @@ class Simulator
     std::unique_ptr<Cache> iCache;
     std::unique_ptr<Cache> dCache;
     std::unique_ptr<Core> core;
-    std::unique_ptr<DecayController> decayCtl;
-    std::unique_ptr<Prefetcher> prefetcher;
-    std::unique_ptr<EhsDesign> ehs;
-
-    Capacitor cap;
-    std::unique_ptr<PowerTrace> trace;
-
-    // Section VII-A atomic-region state.
-    bool inRegion = false;
-    std::uint64_t regionStartIndex = 0;
-    std::uint64_t regionInstr = 0;
-    std::uint64_t instrSinceRegion = 0;
 
     std::unique_ptr<metrics::MetricSet> mset;
 
+    /** Declared before the meter: the meter borrows result.ledger. */
     SimResult result;
-    PowerCycleRecord current;
-    Cycles wall = 0;
-    std::uint64_t harvestedIntervals = 0;
+
+    std::unique_ptr<EnergyMeter> meter;
+
+    SimHooks bus;
+
+    // Components, held in the canonical registration order.
+    std::unique_ptr<TelemetryComponent> telemetry;
+    std::unique_ptr<KaguraComponent> kaguraComp;
+    std::unique_ptr<CompressionStackComponent> compStack;
+    std::unique_ptr<DecayComponent> decayComp;
+    std::unique_ptr<PrefetchComponent> prefetchComp;
+    std::unique_ptr<EhsComponent> ehsComp;
+
+    std::unique_ptr<PowerStateMachine> psm;
+
+    /** 32-bit words saved at a JIT checkpoint. */
     unsigned regWords = 0;
-    /** Stable storage for the EhsContext compression-cost pointer. */
-    CompressionCosts compCostsStorage{};
 };
 
 } // namespace kagura

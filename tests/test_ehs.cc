@@ -25,7 +25,7 @@ struct EhsTest : testing::Test
     EhsTest()
         : nvm(NvmType::ReRam, 1 << 20), icache(cfg, nvm),
           dcache(cfg, nvm),
-          ctx{icache, dcache, energy, nvm.params(), nullptr, 36}
+          ctx{icache, dcache, energy, nvm.params(), {}, false, 36}
     {
     }
 

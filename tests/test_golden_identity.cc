@@ -96,6 +96,93 @@ TEST(GoldenIdentity, EveryWorkloadMatchesPreRefactorFingerprints)
     }
 }
 
+// --- EHS-design parity -----------------------------------------------------
+//
+// golden_ehs_results.txt pins fingerprints for every suite workload
+// under the full ACC+Kagura stack on each of the three EHS designs
+// (NVSRAMCache, NvMR, SweepCache), captured before the component/hook
+// decomposition. The designs exercise the powerFail/reboot/commit
+// paths differently (JIT flush, store-through renaming with no-flush
+// failures, region sweep + rollback), so together they pin the whole
+// PowerStateMachine + EnergyMeter + checkpointCost() surface.
+
+struct EhsGoldenRow
+{
+    std::uint64_t nvsram = 0;
+    std::uint64_t nvmr = 0;
+    std::uint64_t sweep = 0;
+};
+
+std::map<std::string, EhsGoldenRow>
+loadEhsGoldens()
+{
+    std::map<std::string, EhsGoldenRow> rows;
+    std::ifstream in(dataPath("golden_ehs_results.txt"));
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        std::string app, nvsram, nvmr, sweep;
+        if (!(fields >> app >> nvsram >> nvmr >> sweep))
+            continue;
+        EhsGoldenRow row;
+        row.nvsram = std::stoull(nvsram.substr(nvsram.find('=') + 1),
+                                 nullptr, 16);
+        row.nvmr =
+            std::stoull(nvmr.substr(nvmr.find('=') + 1), nullptr, 16);
+        row.sweep =
+            std::stoull(sweep.substr(sweep.find('=') + 1), nullptr, 16);
+        rows[app] = row;
+    }
+    return rows;
+}
+
+SimConfig
+ehsConfig(const std::string &app, EhsKind kind)
+{
+    SimConfig config = accKaguraConfig(app);
+    config.ehs = kind;
+    return config;
+}
+
+TEST(GoldenIdentity, EveryEhsDesignMatchesPreRefactorFingerprints)
+{
+    const auto goldens = loadEhsGoldens();
+    ASSERT_FALSE(goldens.empty())
+        << "golden_ehs_results.txt missing/empty";
+    ASSERT_EQ(goldens.size(), suiteApps().size())
+        << "EHS golden table out of sync with the workload suite";
+
+    for (const std::string &app : suiteApps()) {
+        const auto it = goldens.find(app);
+        ASSERT_NE(it, goldens.end()) << app << " missing from goldens";
+        EXPECT_EQ(fingerprint(ehsConfig(app, EhsKind::NvsramCache)),
+                  it->second.nvsram)
+            << app << " (NVSRAMCache) drifted: bump "
+            << "simulatorVersionSalt and recapture the goldens";
+        EXPECT_EQ(fingerprint(ehsConfig(app, EhsKind::NvMR)),
+                  it->second.nvmr)
+            << app << " (NvMR) drifted";
+        EXPECT_EQ(fingerprint(ehsConfig(app, EhsKind::SweepCache)),
+                  it->second.sweep)
+            << app << " (SweepCache) drifted";
+    }
+}
+
+TEST(GoldenIdentity, EhsDesignsAreExactlyReproducible)
+{
+    // exactlyEqual over two fresh runs of each design: the layered
+    // simulator must stay deterministic run-to-run, not just match a
+    // one-time fingerprint.
+    for (EhsKind kind :
+         {EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache}) {
+        const SimConfig config = ehsConfig("crc32", kind);
+        Simulator first(config);
+        Simulator second(config);
+        EXPECT_TRUE(exactlyEqual(first.run(), second.run()))
+            << ehsKindName(kind) << " is not run-to-run deterministic";
+    }
+}
+
 TEST(GoldenIdentity, SaltIsUntouchedByTheRefactor)
 {
     // The refactor is behaviour-preserving, so the salt must still be

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Tests for the layered simulator architecture: the SimHooks observer
+ * bus (interest routing + registration-order dispatch), the
+ * EnergyMeter, the governor-chain factory, the EhsContext value
+ * semantics behind the shared checkpointCost() formula, and the
+ * Simulator's canonical component wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/acc.hh"
+#include "cache/chain.hh"
+#include "ehs/ehs.hh"
+#include "energy/meter.hh"
+#include "kagura/kagura.hh"
+#include "kagura/oracle.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+namespace kagura
+{
+namespace
+{
+
+// --- SimHooks ------------------------------------------------------------
+
+/** Component that logs every event it receives into a shared journal. */
+struct Probe : SimComponent
+{
+    Probe(std::string id_, unsigned mask_,
+          std::vector<std::string> &journal_)
+        : id(std::move(id_)), mask(mask_), journal(journal_)
+    {
+    }
+
+    const char *name() const override { return id.c_str(); }
+    unsigned interests() const override { return mask; }
+
+    void
+    onStep(const SimStepContext &) override
+    {
+        journal.push_back(id + ":step");
+    }
+
+    void
+    onMemOp(const SimStepContext &) override
+    {
+        journal.push_back(id + ":memop");
+    }
+
+    void onPowerFailure() override { journal.push_back(id + ":fail"); }
+    void onReboot() override { journal.push_back(id + ":reboot"); }
+
+    void
+    onCycleClose(const PowerCycleRecord &) override
+    {
+        journal.push_back(id + ":close");
+    }
+
+    std::string id;
+    unsigned mask;
+    std::vector<std::string> &journal;
+};
+
+TEST(SimHooks, RoutesOnlySubscribedEvents)
+{
+    std::vector<std::string> journal;
+    Probe quiet("quiet", 0, journal);
+    Probe eager("eager",
+                simEventBit(SimEvent::PowerFailure) |
+                    simEventBit(SimEvent::Reboot),
+                journal);
+    SimHooks hooks;
+    hooks.attach(quiet);
+    hooks.attach(eager);
+
+    hooks.powerFailure();
+    hooks.reboot();
+    hooks.cycleClose(PowerCycleRecord{});
+
+    EXPECT_EQ(journal,
+              (std::vector<std::string>{"eager:fail", "eager:reboot"}));
+    EXPECT_FALSE(hooks.wantsFill());
+    EXPECT_FALSE(hooks.wantsEvict());
+}
+
+TEST(SimHooks, DispatchFollowsRegistrationOrder)
+{
+    std::vector<std::string> journal;
+    const unsigned mask = simEventBit(SimEvent::PowerFailure) |
+                          simEventBit(SimEvent::CycleClose);
+    Probe first("first", mask, journal);
+    Probe second("second", mask, journal);
+    SimHooks hooks;
+    hooks.attach(first);
+    hooks.attach(second);
+
+    hooks.powerFailure();
+    hooks.cycleClose(PowerCycleRecord{});
+
+    EXPECT_EQ(journal,
+              (std::vector<std::string>{"first:fail", "second:fail",
+                                        "first:close", "second:close"}));
+    ASSERT_EQ(hooks.components().size(), 2u);
+    EXPECT_STREQ(hooks.components()[0]->name(), "first");
+    EXPECT_STREQ(hooks.components()[1]->name(), "second");
+}
+
+TEST(SimHooks, StepAndMemOpCarryTheStepContext)
+{
+    std::vector<std::string> journal;
+    Probe probe("p",
+                simEventBit(SimEvent::Step) |
+                    simEventBit(SimEvent::MemOp),
+                journal);
+    SimHooks hooks;
+    hooks.attach(probe);
+
+    MicroOp op{};
+    op.type = MicroOp::Type::Load;
+    StepResult sr;
+    const SimStepContext ctx{op, sr, 7};
+    hooks.memOp(ctx);
+    hooks.step(ctx);
+    EXPECT_EQ(journal,
+              (std::vector<std::string>{"p:memop", "p:step"}));
+}
+
+// --- EnergyMeter ---------------------------------------------------------
+
+struct MeterTest : testing::Test
+{
+    /** Meter fed by a constant @p watts ambient source. */
+    EnergyMeter &
+    make(Watts watts, bool infinite = false, Watts cache_leak = 0.0,
+         Watts nvm_standby = 0.0)
+    {
+        meter = std::make_unique<EnergyMeter>(
+            cap, energy, cache_leak, nvm_standby,
+            std::make_unique<VectorTrace>(
+                "const", std::vector<Watts>{watts}),
+            ledger, infinite);
+        return *meter;
+    }
+
+    CapacitorConfig cap{};
+    EnergyModel energy{};
+    EnergyLedger ledger;
+    std::unique_ptr<EnergyMeter> meter;
+};
+
+TEST_F(MeterTest, SpendDrawsLedgerAndCapacitorTogether)
+{
+    EnergyMeter &m = make(0.0);
+    m.capacitor().setVoltage(3.0);
+    const double before = m.capacitor().storedJoules();
+    m.spend(EnergyCategory::Compress, 1e6); // 1e6 pJ = 1 uJ
+    EXPECT_DOUBLE_EQ(ledger.total(EnergyCategory::Compress), 1e6);
+    EXPECT_NEAR(before - m.capacitor().storedJoules(), 1e-6, 1e-12);
+}
+
+TEST_F(MeterTest, NonPositiveSpendsAreIgnored)
+{
+    EnergyMeter &m = make(0.0);
+    m.spend(EnergyCategory::Memory, 0.0);
+    m.spend(EnergyCategory::Memory, -5.0);
+    EXPECT_DOUBLE_EQ(ledger.grandTotal(), 0.0);
+}
+
+TEST_F(MeterTest, InfiniteEnergyMetersButNeverDischarges)
+{
+    EnergyMeter &m = make(0.0, /*infinite=*/true);
+    m.capacitor().setVoltage(3.0);
+    const double before = m.capacitor().storedJoules();
+    m.spend(EnergyCategory::Checkpoint, 5e7);
+    EXPECT_DOUBLE_EQ(ledger.total(EnergyCategory::Checkpoint), 5e7);
+    EXPECT_DOUBLE_EQ(m.capacitor().storedJoules(), before);
+    EXPECT_TRUE(m.infiniteEnergy());
+    EXPECT_FALSE(m.failureImminent());
+}
+
+TEST_F(MeterTest, AdvanceWallHarvestsPerInterval)
+{
+    EnergyMeter &m = make(0.5);
+    m.capacitor().setVoltage(cap.vShutdown);
+    const double before = m.capacitor().storedJoules();
+    const Cycles ivl = energy.cyclesPerTraceInterval();
+    m.advanceWall(ivl);
+    EXPECT_EQ(m.wall(), ivl);
+    // One interval of 0.5 W harvest (capped only at vMax).
+    EXPECT_NEAR(m.capacitor().storedJoules() - before,
+                0.5 * energy.traceInterval, 1e-12);
+}
+
+TEST_F(MeterTest, ChargeStaticPowerHitsAllStandingCategories)
+{
+    EnergyMeter &m = make(0.0, false, /*cache_leak=*/1e-6,
+                          /*nvm_standby=*/2e-6);
+    m.capacitor().setVoltage(3.0);
+    m.chargeStaticPower(1000);
+    EXPECT_GT(ledger.total(EnergyCategory::CacheOther), 0.0);
+    EXPECT_GT(ledger.total(EnergyCategory::Memory), 0.0);
+    EXPECT_GT(ledger.total(EnergyCategory::Others), 0.0);
+    EXPECT_EQ(m.wall(), 0u) << "static power must not advance time";
+}
+
+TEST_F(MeterTest, RechargeUntilRestoreReachesTheThreshold)
+{
+    EnergyMeter &m = make(0.5);
+    m.capacitor().setVoltage(cap.vShutdown);
+    EXPECT_FALSE(m.capacitor().aboveRestore());
+    m.rechargeUntilRestore();
+    EXPECT_TRUE(m.capacitor().aboveRestore());
+    EXPECT_GT(m.wall(), 0u) << "recharge must consume wall time";
+    // Off-state capacitor leakage is metered as Others.
+    EXPECT_GT(ledger.total(EnergyCategory::Others), 0.0);
+}
+
+TEST_F(MeterTest, FailureImminentTracksTheCheckpointThreshold)
+{
+    EnergyMeter &m = make(0.0);
+    m.capacitor().setVoltage(cap.vRestore);
+    EXPECT_FALSE(m.failureImminent());
+    m.capacitor().setVoltage(cap.vCheckpoint - 0.01);
+    EXPECT_TRUE(m.failureImminent());
+}
+
+// --- governor-chain factory ----------------------------------------------
+
+TEST(GovernorChainFactory, NoneProducesAnEmptyChain)
+{
+    const GovernorChain chain = makeGovernorChain({});
+    EXPECT_EQ(chain.head, nullptr);
+    EXPECT_FALSE(chain.fixed || chain.acc || chain.gate ||
+                 chain.recorder || chain.replayer);
+}
+
+TEST(GovernorChainFactory, StagesStackInCanonicalOrder)
+{
+    GovernorChainSpec spec;
+    spec.governor = GovernorKind::Always;
+    GovernorChain chain = makeGovernorChain(spec);
+    EXPECT_EQ(chain.head, chain.fixed.get());
+
+    spec.governor = GovernorKind::Acc;
+    chain = makeGovernorChain(spec);
+    EXPECT_EQ(chain.head, chain.acc.get());
+
+    KaguraController kagura{KaguraConfig{}, nullptr};
+    spec.kagura = &kagura;
+    chain = makeGovernorChain(spec);
+    EXPECT_EQ(chain.head, chain.gate.get())
+        << "KaguraGate must wrap the inner governor";
+    EXPECT_TRUE(chain.acc);
+
+    spec.oracle = OracleMode::Record;
+    chain = makeGovernorChain(spec);
+    EXPECT_EQ(chain.head, chain.recorder.get())
+        << "the oracle is the outermost stage";
+
+    OracleLog log;
+    spec.oracle = OracleMode::Replay;
+    spec.oracleLog = &log;
+    chain = makeGovernorChain(spec);
+    EXPECT_EQ(chain.head, chain.replayer.get());
+}
+
+TEST(GovernorChainFactory, ReplayWithoutLogIsFatal)
+{
+    GovernorChainSpec spec;
+    spec.governor = GovernorKind::Acc;
+    spec.oracle = OracleMode::Replay;
+    EXPECT_EXIT({ makeGovernorChain(spec); },
+                testing::ExitedWithCode(1), "phase-1 log");
+}
+
+// --- EhsContext value semantics + shared checkpoint formula --------------
+
+struct EhsContextTest : testing::Test
+{
+    EhsContextTest()
+        : nvm(NvmType::ReRam, 1 << 20), icache(cfg, nvm),
+          dcache(cfg, nvm)
+    {
+    }
+
+    CacheConfig cfg{};
+    Nvm nvm;
+    Cache icache;
+    Cache dcache;
+    EnergyModel energy{};
+};
+
+TEST_F(EhsContextTest, CheckpointCostMatchesTheSharedFormula)
+{
+    CompressionCosts comp{};
+    comp.decompressEnergy = 7.5;
+    comp.decompressLatency = 3;
+    const EhsContext ctx{icache, dcache,  energy, nvm.params(),
+                         comp,   true,    36};
+
+    const EhsCost cost = ctx.checkpointCost(4, 2, 10);
+    EXPECT_EQ(cost.nvmBlockWrites, 4u);
+    EXPECT_EQ(cost.decompressions, 2u);
+    EXPECT_EQ(cost.cycles, 4 * 10 + 2 * 3 + 36u);
+    EXPECT_DOUBLE_EQ(cost.energy, 4 * nvm.params().writeEnergy +
+                                      2 * 7.5 +
+                                      36 * energy.nvffWrite);
+}
+
+TEST_F(EhsContextTest, DecompressionsCostNothingWithoutCompression)
+{
+    const EhsContext ctx{icache,        dcache, energy, nvm.params(),
+                         CompressionCosts{}, false, 36};
+    const EhsCost cost = ctx.checkpointCost(1, 5, 10);
+    EXPECT_DOUBLE_EQ(cost.energy, nvm.params().writeEnergy +
+                                      36 * energy.nvffWrite);
+    EXPECT_EQ(cost.cycles, 10 + 36u);
+}
+
+TEST_F(EhsContextTest, CompressionCostsAreHeldByValue)
+{
+    CompressionCosts comp{};
+    comp.decompressEnergy = 1.0;
+    EhsContext ctx{icache, dcache, energy, nvm.params(), comp, true,
+                   36};
+    comp.decompressEnergy = 999.0; // the context must not alias this
+    const EhsCost cost = ctx.checkpointCost(0, 1, 0);
+    EXPECT_DOUBLE_EQ(cost.energy, 1.0 + 36 * energy.nvffWrite);
+}
+
+// --- Simulator wiring ----------------------------------------------------
+
+std::vector<std::string>
+componentNames(const Simulator &sim)
+{
+    std::vector<std::string> names;
+    for (const SimComponent *c : sim.hooks().components())
+        names.emplace_back(c->name());
+    return names;
+}
+
+TEST(SimulatorComponents, BaselineWiresTheMinimalSet)
+{
+    Simulator sim(baselineConfig("crc32"));
+    EXPECT_EQ(componentNames(sim),
+              (std::vector<std::string>{"telemetry", "compression-stack",
+                                        "ehs"}));
+}
+
+TEST(SimulatorComponents, FullPlatformFollowsTheCanonicalOrder)
+{
+    SimConfig config = accKaguraConfig("crc32");
+    config.enableDecay = true;
+    config.enablePrefetch = true;
+    Simulator sim(config);
+    EXPECT_EQ(componentNames(sim),
+              (std::vector<std::string>{"telemetry", "kagura",
+                                        "compression-stack", "decay",
+                                        "prefetch", "ehs"}));
+}
+
+TEST(SimulatorComponents, CheckpointWordsStartFromTheCoreConstant)
+{
+    // 32 architectural registers + 4 store-buffer entries; governors
+    // add their controller registers on top (see Simulator ctor).
+    EXPECT_EQ(Core::checkpointWords, 36u);
+}
+
+} // namespace
+} // namespace kagura

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * capture_goldens -- regenerate the behaviour-preservation fixtures
+ * used by tests/test_golden_identity.cc.
+ *
+ * Run from a tree whose behaviour is the one to pin (i.e. BEFORE a
+ * refactor lands, or right after an intentional behaviour change that
+ * bumped simulatorVersionSalt):
+ *
+ *   capture_goldens standard > tests/data/golden_results.txt
+ *   capture_goldens ehs      > tests/data/golden_ehs_results.txt
+ *
+ * "standard" emits one row per suite workload with the FNV-1a
+ * fingerprint of the canonical SimResult encoding under the baseline,
+ * ACC, and ACC+Kagura configs. "ehs" emits one row per workload with
+ * the ACC+Kagura config run under each of the three EHS persistence
+ * designs (NVSRAMCache, NvMR, SweepCache) -- the parity table the
+ * component-refactor suite checks.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "runner/config_hash.hh"
+#include "runner/result_codec.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+using namespace kagura;
+
+namespace
+{
+
+std::uint64_t
+fingerprint(const SimConfig &config)
+{
+    Simulator sim(config);
+    return runner::fnv1a64(runner::encodeResult(sim.run()));
+}
+
+int
+captureStandard()
+{
+    for (const std::string &app : suiteApps()) {
+        std::printf("%s base=%016llx acc=%016llx kagura=%016llx\n",
+                    app.c_str(),
+                    static_cast<unsigned long long>(
+                        fingerprint(baselineConfig(app))),
+                    static_cast<unsigned long long>(
+                        fingerprint(accConfig(app))),
+                    static_cast<unsigned long long>(
+                        fingerprint(accKaguraConfig(app))));
+        std::fflush(stdout);
+    }
+    return 0;
+}
+
+int
+captureEhs()
+{
+    for (const std::string &app : suiteApps()) {
+        SimConfig nvsram = accKaguraConfig(app);
+        nvsram.ehs = EhsKind::NvsramCache;
+        SimConfig nvmr = accKaguraConfig(app);
+        nvmr.ehs = EhsKind::NvMR;
+        SimConfig sweep = accKaguraConfig(app);
+        sweep.ehs = EhsKind::SweepCache;
+        std::printf("%s nvsram=%016llx nvmr=%016llx sweep=%016llx\n",
+                    app.c_str(),
+                    static_cast<unsigned long long>(fingerprint(nvsram)),
+                    static_cast<unsigned long long>(fingerprint(nvmr)),
+                    static_cast<unsigned long long>(fingerprint(sweep)));
+        std::fflush(stdout);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    informEnabled = false;
+    const char *mode = argc > 1 ? argv[1] : "";
+    if (std::strcmp(mode, "standard") == 0)
+        return captureStandard();
+    if (std::strcmp(mode, "ehs") == 0)
+        return captureEhs();
+    std::fprintf(stderr,
+                 "usage: capture_goldens standard|ehs\n"
+                 "  standard  golden_results.txt rows "
+                 "(baseline/ACC/ACC+Kagura)\n"
+                 "  ehs       golden_ehs_results.txt rows "
+                 "(NVSRAM/NvMR/SweepCache under ACC+Kagura)\n");
+    return 2;
+}

@@ -79,6 +79,9 @@ usage()
         "                        .kagura-cache/; KAGURA_CACHE=off)\n"
         "\n"
         "output:\n"
+        "  --dump-config         print the resolved configuration's\n"
+        "                        canonical key (the result-cache\n"
+        "                        identity) and exit without simulating\n"
         "  --baseline            also run the no-compression baseline\n"
         "                        and report speedup/energy deltas\n"
         "  --json                emit the result as JSON instead\n"
@@ -167,6 +170,7 @@ main(int argc, char **argv)
     bool ideal = false;
     bool json = false;
     bool json_cycles = false;
+    bool dump_config = false;
     std::string metrics_out;
 
     for (int i = 1; i < argc; ++i) {
@@ -317,6 +321,8 @@ main(int argc, char **argv)
             metrics_out = nextArg(argc, argv, i);
         } else if (is("--metrics-timeseries")) {
             metrics::setTimeseriesEnabled(true);
+        } else if (is("--dump-config")) {
+            dump_config = true;
         } else if (is("--json")) {
             json = true;
         } else if (is("--json-cycles")) {
@@ -331,6 +337,13 @@ main(int argc, char **argv)
         } else {
             fatal("unknown flag '%s' (see --help)", arg);
         }
+    }
+
+    if (dump_config) {
+        // The canonical key is the simulation identity: the exact
+        // string the runner hashes for its persistent result cache.
+        std::fputs(cfg.canonicalKey().c_str(), stdout);
+        return 0;
     }
 
     informEnabled = false;

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Gate simulator throughput against a committed baseline.
+
+Compares two google-benchmark JSON files from microbench_sim_throughput
+(the committed pre-refactor baseline vs a fresh run) on per-benchmark
+median items_per_second, and fails if the geometric-mean ratio drops by
+more than the budget. The geomean -- not a per-benchmark gate -- is the
+pass/fail signal because individual app/config cells on shared CI
+runners are noisy; a real architectural regression moves all of them.
+
+Accepts either raw repetition output or aggregate-only output: when a
+benchmark has explicit median aggregates (``aggregate_name: median``)
+those are used, otherwise the median over its raw repetitions is taken.
+
+Usage:
+    throughput_gate.py BASELINE.json FRESH.json [--max-drop PCT]
+
+Exit status 0 when the fresh geomean is within the budget, 1 otherwise
+(also when the two files do not cover the same benchmarks).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_medians(path):
+    """Map benchmark name -> median items_per_second for one JSON file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+
+    medians = {}
+    raw = {}
+    for bench in doc.get("benchmarks", []):
+        rate = bench.get("items_per_second")
+        if rate is None:
+            continue
+        if bench.get("aggregate_name") == "median":
+            name = bench["name"]
+            for suffix in ("_median",):
+                if name.endswith(suffix):
+                    name = name[: -len(suffix)]
+            medians[name] = rate
+        elif "aggregate_name" not in bench:
+            raw.setdefault(bench["name"], []).append(rate)
+
+    for name, rates in raw.items():
+        if name not in medians:
+            rates.sort()
+            mid = len(rates) // 2
+            if len(rates) % 2:
+                medians[name] = rates[mid]
+            else:
+                medians[name] = (rates[mid - 1] + rates[mid]) / 2.0
+    return medians
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Fail when throughput geomean regresses past budget."
+    )
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly measured JSON")
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=2.0,
+        metavar="PCT",
+        help="allowed geomean regression in percent (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    base = load_medians(args.baseline)
+    fresh = load_medians(args.fresh)
+
+    missing = sorted(set(base) - set(fresh))
+    if missing:
+        print("throughput_gate: benchmarks missing from fresh run:")
+        for name in missing:
+            print(f"  {name}")
+        return 1
+    if not base:
+        print(f"throughput_gate: no benchmarks in {args.baseline}")
+        return 1
+
+    print(f"{'benchmark':44s} {'baseline':>12s} {'fresh':>12s} {'delta':>8s}")
+    log_sum = 0.0
+    for name in sorted(base):
+        ratio = fresh[name] / base[name]
+        log_sum += math.log(ratio)
+        print(
+            f"{name:44s} {base[name]:12.3e} {fresh[name]:12.3e} "
+            f"{(ratio - 1.0) * 100.0:+7.2f}%"
+        )
+
+    geomean = math.exp(log_sum / len(base))
+    drop = (1.0 - geomean) * 100.0
+    print(
+        f"\ngeomean ratio {geomean:.4f} "
+        f"({(geomean - 1.0) * 100.0:+.2f}%), budget -{args.max_drop:.1f}%"
+    )
+    if drop > args.max_drop:
+        print(
+            f"throughput_gate: FAIL -- geomean dropped {drop:.2f}% "
+            f"(> {args.max_drop:.1f}% budget)"
+        )
+        return 1
+    print("throughput_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
