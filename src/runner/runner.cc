@@ -90,8 +90,8 @@ jobCount()
     return n ? n : ThreadPool::defaultThreadCount();
 }
 
-SimResult
-runJob(const SimJob &job)
+JobOutcome
+runJobDetailed(const SimJob &job)
 {
     // The ideal kinds carry the *base* config; the phases derive
     // their own oracle modes inside runIdealOnce.
@@ -117,6 +117,7 @@ runJob(const SimJob &job)
         liveProgressLine(what, cached_hit, seconds);
     };
 
+    JobOutcome outcome;
     progress().noteStarted();
     if (cacheable && cache.enabled()) {
         const std::string key = jobKeyText(job.config,
@@ -128,20 +129,50 @@ runJob(const SimJob &job)
             decodeResult(payload, cached)) {
             progress().noteCacheHit();
             reg.counter("runner/cache_hits").add();
-            finish(job.config.describe(), true, elapsed());
-            return cached;
+            outcome.seconds = elapsed();
+            finish(job.config.describe(), true, outcome.seconds);
+            outcome.result = std::move(cached);
+            outcome.cacheHit = true;
+            return outcome;
         }
         progress().noteCacheMiss();
         reg.counter("runner/cache_misses").add();
         SimResult result = execute(job);
         cache.store(hash, key, encodeResult(result));
-        finish(job.config.describe(), false, elapsed());
-        return result;
+        outcome.seconds = elapsed();
+        finish(job.config.describe(), false, outcome.seconds);
+        outcome.result = std::move(result);
+        return outcome;
     }
 
     SimResult result = execute(job);
-    finish(job.config.describe(), false, elapsed());
-    return result;
+    outcome.seconds = elapsed();
+    finish(job.config.describe(), false, outcome.seconds);
+    outcome.result = std::move(result);
+    return outcome;
+}
+
+SimResult
+runJob(const SimJob &job)
+{
+    return runJobDetailed(job).result;
+}
+
+// Set by the harness before sweeps start (bench --daemon /
+// KAGURA_SWEEPD); read at the head of every runJobs() call on the
+// submitting thread.
+static BatchExecutor batchExecutor;
+
+void
+setBatchExecutor(BatchExecutor executor)
+{
+    batchExecutor = std::move(executor);
+}
+
+bool
+batchExecutorInstalled()
+{
+    return static_cast<bool>(batchExecutor);
 }
 
 std::vector<SimResult>
@@ -149,6 +180,8 @@ runJobs(const std::vector<SimJob> &jobs)
 {
     progress().noteQueued(jobs.size());
     std::vector<SimResult> results(jobs.size());
+    if (batchExecutor && batchExecutor(jobs, results))
+        return results;
     const unsigned workers = jobCount();
     if (workers <= 1 || jobs.size() <= 1) {
         for (std::size_t i = 0; i < jobs.size(); ++i)

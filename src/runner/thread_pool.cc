@@ -16,8 +16,8 @@ ThreadPool::defaultThreadCount()
     return envCount("KAGURA_JOBS", hw ? hw : 1);
 }
 
-ThreadPool::ThreadPool(unsigned threads)
-    : workerCount(threads <= 1 ? 0 : threads)
+ThreadPool::ThreadPool(unsigned threads, bool allow_inline)
+    : workerCount(threads <= 1 ? (allow_inline ? 0 : 1) : threads)
 {
     queues.reserve(workerCount);
     for (unsigned i = 0; i < workerCount; ++i)

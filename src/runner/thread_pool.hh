@@ -36,8 +36,14 @@ namespace runner
 class ThreadPool
 {
   public:
-    /** @param threads Worker count; 0 or 1 means run inline. */
-    explicit ThreadPool(unsigned threads);
+    /**
+     * @param threads Worker count; 0 or 1 means run inline -- tasks
+     *        queue up and execute on the thread that calls wait().
+     * @param allow_inline Pass false when tasks must run without a
+     *        wait() rendezvous (an async server pool): 0/1 threads
+     *        then still spawns one real worker.
+     */
+    explicit ThreadPool(unsigned threads, bool allow_inline = true);
 
     /** Joins workers; pending tasks are finished first. */
     ~ThreadPool();

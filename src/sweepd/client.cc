@@ -1,0 +1,479 @@
+#include "sweepd/client.hh"
+
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "metrics/registry.hh"
+#include "runner/config_hash.hh"
+#include "runner/progress.hh"
+#include "runner/result_codec.hh"
+
+namespace kagura
+{
+namespace sweepd
+{
+
+namespace
+{
+
+/** Control-channel patience (handshake, status, cache ops). */
+constexpr int controlTimeoutSeconds = 30;
+
+std::string
+readStatusMessage(ReadStatus status)
+{
+    switch (status) {
+      case ReadStatus::Ok:
+        return "ok";
+      case ReadStatus::Eof:
+        return "connection closed by daemon";
+      case ReadStatus::Truncated:
+        return "truncated frame (connection died mid-frame)";
+      case ReadStatus::TooLarge:
+        return "oversized frame from daemon";
+      case ReadStatus::IoError:
+        return std::string("recv failed: ") + std::strerror(errno);
+    }
+    return "unknown read status";
+}
+
+/** Format a daemon ERROR frame for humans. */
+std::string
+describeError(const std::string &payload)
+{
+    ErrorBody body;
+    if (!decodeError(payload, body))
+        return "daemon sent an unparseable ERROR frame";
+    return std::string("daemon error [") + errorCodeName(body.code) +
+           "]: " + body.message;
+}
+
+} // namespace
+
+SweepClient::~SweepClient()
+{
+    close();
+}
+
+void
+SweepClient::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    poolThreads = 0;
+}
+
+void
+SweepClient::setReceiveTimeout(int seconds)
+{
+    if (fd < 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool
+SweepClient::sendFrame(FrameType type, std::string_view payload,
+                       std::string *error)
+{
+    if (fd < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd, type, payload)) {
+        if (error)
+            *error = std::string("send failed: ") +
+                     std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+SweepClient::receive(Frame &frame, std::string *error)
+{
+    const ReadStatus status = readFrame(fd, frame);
+    if (status == ReadStatus::Ok)
+        return true;
+    if (error)
+        *error = readStatusMessage(status);
+    close();
+    return false;
+}
+
+bool
+SweepClient::connect(const std::string &socket_path, std::string *error)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() ||
+        socket_path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path empty or too long";
+        return false;
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = "connect('" + socket_path +
+                     "'): " + std::strerror(errno);
+        close();
+        return false;
+    }
+
+    HelloBody hello;
+    hello.simulatorSalt = runner::simulatorVersionSalt;
+    hello.resultFormat = runner::resultFormatVersion;
+    if (!sendFrame(FrameType::Hello, encodeHello(hello), error))
+        return false;
+    setReceiveTimeout(controlTimeoutSeconds);
+    Frame frame;
+    if (!receive(frame, error))
+        return false;
+    setReceiveTimeout(0);
+    if (frame.type == FrameType::Error) {
+        if (error)
+            *error = describeError(frame.payload);
+        close();
+        return false;
+    }
+    HelloBody ok;
+    if (frame.type != FrameType::HelloOk ||
+        !decodeHello(frame.payload, ok)) {
+        if (error)
+            *error = "handshake failed: unexpected daemon reply";
+        close();
+        return false;
+    }
+    poolThreads = ok.poolThreads;
+    return true;
+}
+
+bool
+SweepClient::runJobs(const std::vector<runner::SimJob> &jobs,
+                     std::vector<SimResult> &results,
+                     std::string *error, BatchDoneBody *done_out,
+                     const std::string &manifest,
+                     const ProgressFn &on_progress)
+{
+    results.clear();
+    results.resize(jobs.size());
+    SubmitBody submit;
+    submit.batchId = nextBatchId++;
+    submit.manifest = manifest;
+    submit.jobs.reserve(jobs.size());
+    for (const runner::SimJob &job : jobs) {
+        if (!jobDaemonEligible(job)) {
+            if (error)
+                *error = "batch contains a daemon-ineligible job";
+            return false;
+        }
+        JobSpec spec;
+        spec.kind = runner::jobKindName(job.kind);
+        spec.canonicalKey = job.config.canonicalKey();
+        submit.jobs.push_back(std::move(spec));
+    }
+    if (!sendFrame(FrameType::Submit, encodeSubmit(submit), error))
+        return false;
+
+    std::vector<bool> filled(jobs.size(), false);
+    std::size_t remaining = jobs.size();
+    bool done_seen = false;
+    while (!done_seen || remaining > 0) {
+        Frame frame;
+        if (!receive(frame, error))
+            return false;
+        switch (frame.type) {
+          case FrameType::Progress: {
+              ProgressBody progress;
+              if (decodeProgress(frame.payload, progress) &&
+                  on_progress)
+                  on_progress(progress);
+              break;
+          }
+          case FrameType::Result: {
+              ResultBody result;
+              if (!decodeResult(frame.payload, result) ||
+                  result.batchId != submit.batchId ||
+                  result.index >= jobs.size() ||
+                  filled[result.index]) {
+                  if (error)
+                      *error = "daemon sent a malformed RESULT frame";
+                  close();
+                  return false;
+              }
+              if (!runner::decodeResult(result.payload,
+                                        results[result.index])) {
+                  if (error)
+                      *error = "daemon RESULT payload failed to "
+                               "decode";
+                  close();
+                  return false;
+              }
+              filled[result.index] = true;
+              --remaining;
+
+              // Mirror the local runner's per-job telemetry so the
+              // harness's [runner] summary and metrics export stay
+              // truthful about what the fleet actually did.
+              runner::Progress &prog = runner::progress();
+              metrics::Registry &reg = metrics::Registry::global();
+              prog.noteStarted();
+              if (result.cached) {
+                  prog.noteCacheHit();
+                  reg.counter("runner/cache_hits").add();
+              } else {
+                  prog.noteCacheMiss();
+                  prog.noteSimulation();
+                  reg.counter("runner/cache_misses").add();
+                  reg.counter("runner/simulations").add();
+              }
+              prog.noteDone(result.seconds);
+              reg.counter("runner/jobs_done").add();
+              reg.timer("runner/job_seconds").observe(result.seconds);
+              runner::liveProgressLine(
+                  jobs[result.index].config.describe(), result.cached,
+                  result.seconds);
+              break;
+          }
+          case FrameType::BatchDone: {
+              BatchDoneBody done;
+              if (!decodeBatchDone(frame.payload, done) ||
+                  done.batchId != submit.batchId) {
+                  if (error)
+                      *error = "daemon sent a malformed BATCH_DONE "
+                               "frame";
+                  close();
+                  return false;
+              }
+              if (done_out)
+                  *done_out = done;
+              done_seen = true;
+              break;
+          }
+          case FrameType::Error:
+            if (error)
+                *error = describeError(frame.payload);
+            close();
+            return false;
+          default:
+            if (error)
+                *error = "daemon sent an unexpected frame type";
+            close();
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+SweepClient::cacheGet(std::uint64_t hash, std::string_view key_text,
+                      std::string &payload_out, std::string *error)
+{
+    CacheBody body;
+    body.hash = hash;
+    body.keyText = std::string(key_text);
+    if (!sendFrame(FrameType::CacheGet, encodeCache(body), error))
+        return false;
+    setReceiveTimeout(controlTimeoutSeconds);
+    Frame frame;
+    const bool got = receive(frame, error);
+    setReceiveTimeout(0);
+    if (!got)
+        return false;
+    if (frame.type == FrameType::CacheFound) {
+        payload_out = std::move(frame.payload);
+        return true;
+    }
+    if (frame.type == FrameType::CacheMiss) {
+        if (error)
+            error->clear();
+        return false;
+    }
+    if (error)
+        *error = frame.type == FrameType::Error
+                     ? describeError(frame.payload)
+                     : "unexpected CACHE_GET reply";
+    close();
+    return false;
+}
+
+bool
+SweepClient::cachePut(std::uint64_t hash, std::string_view key_text,
+                      std::string_view payload, std::string *error)
+{
+    CacheBody body;
+    body.hash = hash;
+    body.keyText = std::string(key_text);
+    body.payload = std::string(payload);
+    if (!sendFrame(FrameType::CachePut, encodeCache(body), error))
+        return false;
+    setReceiveTimeout(controlTimeoutSeconds);
+    Frame frame;
+    const bool got = receive(frame, error);
+    setReceiveTimeout(0);
+    if (!got)
+        return false;
+    if (frame.type == FrameType::CachePutOk)
+        return true;
+    if (error)
+        *error = frame.type == FrameType::Error
+                     ? describeError(frame.payload)
+                     : "unexpected CACHE_PUT reply";
+    close();
+    return false;
+}
+
+bool
+SweepClient::status(StatusBody &out, std::string *error)
+{
+    if (!sendFrame(FrameType::Status, {}, error))
+        return false;
+    setReceiveTimeout(controlTimeoutSeconds);
+    Frame frame;
+    const bool got = receive(frame, error);
+    setReceiveTimeout(0);
+    if (!got)
+        return false;
+    if (frame.type == FrameType::StatusOk &&
+        decodeStatus(frame.payload, out))
+        return true;
+    if (error)
+        *error = frame.type == FrameType::Error
+                     ? describeError(frame.payload)
+                     : "unexpected STATUS reply";
+    close();
+    return false;
+}
+
+bool
+SweepClient::shutdownDaemon(std::string *error)
+{
+    if (!sendFrame(FrameType::Shutdown, {}, error))
+        return false;
+    setReceiveTimeout(controlTimeoutSeconds);
+    Frame frame;
+    const bool got = receive(frame, error);
+    setReceiveTimeout(0);
+    if (!got)
+        return false;
+    if (frame.type == FrameType::ShutdownOk)
+        return true;
+    if (error)
+        *error = frame.type == FrameType::Error
+                     ? describeError(frame.payload)
+                     : "unexpected SHUTDOWN reply";
+    return false;
+}
+
+bool
+jobDaemonEligible(const runner::SimJob &job)
+{
+    // A Replay config carries a caller-owned phase-1 log pointer that
+    // cannot travel over the wire; everything else round-trips
+    // through the canonical key.
+    return job.config.oracleLog == nullptr &&
+           job.config.oracle != OracleMode::Replay;
+}
+
+namespace
+{
+
+/** State behind the armed runner executor (one daemon per process). */
+struct ArmedClient
+{
+    std::mutex mutex;
+    std::string socketPath;
+    std::unique_ptr<SweepClient> client;
+    bool failed = false;
+    bool warned = false;
+};
+
+ArmedClient &
+armedClient()
+{
+    static ArmedClient instance;
+    return instance;
+}
+
+bool
+forwardBatch(const std::vector<runner::SimJob> &jobs,
+             std::vector<SimResult> &results)
+{
+    ArmedClient &armed = armedClient();
+    std::lock_guard<std::mutex> lock(armed.mutex);
+    if (armed.failed || armed.socketPath.empty())
+        return false;
+    for (const runner::SimJob &job : jobs) {
+        if (!jobDaemonEligible(job))
+            return false; // whole batch stays local
+    }
+    std::string error;
+    if (!armed.client) {
+        auto client = std::make_unique<SweepClient>();
+        if (!client->connect(armed.socketPath, &error)) {
+            armed.failed = true;
+            if (!armed.warned) {
+                armed.warned = true;
+                warn("sweep daemon unreachable (%s); running "
+                     "in-process (further occurrences silenced)",
+                     error.c_str());
+            }
+            return false;
+        }
+        armed.client = std::move(client);
+    }
+    if (armed.client->runJobs(jobs, results, &error))
+        return true;
+    armed.failed = true;
+    armed.client.reset();
+    if (!armed.warned) {
+        armed.warned = true;
+        warn("sweep daemon failed mid-batch (%s); falling back to "
+             "in-process execution (further occurrences silenced)",
+             error.c_str());
+    }
+    return false;
+}
+
+} // namespace
+
+void
+armRunnerClient(const std::string &socket_path)
+{
+    ArmedClient &armed = armedClient();
+    {
+        std::lock_guard<std::mutex> lock(armed.mutex);
+        armed.socketPath = socket_path;
+        armed.client.reset();
+        armed.failed = false;
+        armed.warned = false;
+    }
+    if (socket_path.empty())
+        runner::setBatchExecutor({});
+    else
+        runner::setBatchExecutor(forwardBatch);
+}
+
+} // namespace sweepd
+} // namespace kagura

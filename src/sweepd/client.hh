@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Client side of kagura.sweep/v1: a thin connection object
+ * (SweepClient) plus the glue that lets the whole bench fleet run
+ * through one daemon (armRunnerClient).
+ *
+ * SweepClient::runJobs() mirrors runner::runJobs() exactly -- submit
+ * an ordered batch, get results back in job order -- but the work
+ * executes on the daemon's shared pool and the daemon's result
+ * cache. RESULT frames arrive in completion order and are placed by
+ * index, preserving the runner's slot-addressed deterministic
+ * aggregation; local runner telemetry (progress counters, metrics
+ * registry) is mirrored from the per-job detail the daemon streams,
+ * so `[runner]` summary lines and bench JSON exports stay truthful
+ * about cache hits and simulations regardless of where they ran.
+ *
+ * armRunnerClient() installs a runner::BatchExecutor that lazily
+ * connects to the daemon and forwards every eligible batch. It
+ * degrades gracefully: ineligible jobs (oracle-replay with a local
+ * log pointer) or an unreachable/vanished daemon make the executor
+ * decline, and runner::runJobs() falls back to in-process execution
+ * with a single warning -- a bench never fails because the daemon is
+ * absent.
+ */
+
+#ifndef KAGURA_SWEEPD_CLIENT_HH
+#define KAGURA_SWEEPD_CLIENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hh"
+#include "sweepd/protocol.hh"
+
+namespace kagura
+{
+namespace sweepd
+{
+
+/** One connection to a sweep daemon. Not thread-safe; one per user. */
+class SweepClient
+{
+  public:
+    SweepClient() = default;
+    ~SweepClient();
+
+    SweepClient(const SweepClient &) = delete;
+    SweepClient &operator=(const SweepClient &) = delete;
+
+    /**
+     * Connect to the daemon at @p socket_path and run the HELLO
+     * handshake. False (with @p error set) on a missing socket, a
+     * version mismatch, or any I/O failure.
+     */
+    bool connect(const std::string &socket_path, std::string *error);
+
+    bool connected() const { return fd >= 0; }
+    void close();
+
+    /** Daemon worker-pool width (from HELLO_OK; 0 before connect). */
+    unsigned daemonThreads() const { return poolThreads; }
+
+    /** Live progress callback for long sweeps. */
+    using ProgressFn = std::function<void(const ProgressBody &)>;
+
+    /**
+     * Execute @p jobs on the daemon; results land in job order in
+     * @p results (resized to match). Optional: @p manifest names a
+     * persistent sweep manifest for resumability, @p on_progress
+     * receives streamed PROGRESS bodies, @p done_out receives the
+     * final batch counters. False on any protocol or I/O error (with
+     * @p error set); the connection is then unusable.
+     */
+    bool runJobs(const std::vector<runner::SimJob> &jobs,
+                 std::vector<SimResult> &results,
+                 std::string *error, BatchDoneBody *done_out = nullptr,
+                 const std::string &manifest = "",
+                 const ProgressFn &on_progress = nullptr);
+
+    /**
+     * Remote cache lookup by canonical-key hash. Returns true with
+     * the payload on a hit; false with an empty @p error on a miss,
+     * false with @p error set on a protocol failure.
+     */
+    bool cacheGet(std::uint64_t hash, std::string_view key_text,
+                  std::string &payload_out, std::string *error);
+
+    /** Remote cache store; false on protocol failure. */
+    bool cachePut(std::uint64_t hash, std::string_view key_text,
+                  std::string_view payload, std::string *error);
+
+    /** Daemon statistics snapshot. */
+    bool status(StatusBody &out, std::string *error);
+
+    /** Ask the daemon to shut down. */
+    bool shutdownDaemon(std::string *error);
+
+  private:
+    bool sendFrame(FrameType type, std::string_view payload,
+                   std::string *error);
+    bool receive(Frame &frame, std::string *error);
+    /** Bound control-channel waits so a stuck daemon cannot hang us. */
+    void setReceiveTimeout(int seconds);
+
+    int fd = -1;
+    unsigned poolThreads = 0;
+    std::uint64_t nextBatchId = 1;
+};
+
+/** A job the daemon can serve (no caller-owned oracle-log pointer). */
+bool jobDaemonEligible(const runner::SimJob &job);
+
+/**
+ * Point the runner at a sweep daemon: installs a BatchExecutor that
+ * forwards eligible batches to @p socket_path (lazily connected).
+ * Pass "" to disarm. The harness calls this from --daemon /
+ * KAGURA_SWEEPD before sweeps start.
+ */
+void armRunnerClient(const std::string &socket_path);
+
+} // namespace sweepd
+} // namespace kagura
+
+#endif // KAGURA_SWEEPD_CLIENT_HH

@@ -1,0 +1,534 @@
+#include "sweepd/config_codec.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <unordered_map>
+
+#include "core/workload.hh"
+#include "trace/trace_workload.hh"
+
+namespace kagura
+{
+namespace sweepd
+{
+
+namespace
+{
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+/** Generic inverse of a name() function over an enum value list. */
+template <typename Enum, std::size_t N>
+std::optional<Enum>
+invertName(std::string_view name, const Enum (&values)[N],
+           const char *(*to_name)(Enum))
+{
+    for (Enum value : values) {
+        if (iequals(name, to_name(value)))
+            return value;
+    }
+    return std::nullopt;
+}
+
+bool
+parseU64(std::string_view value, std::uint64_t &out)
+{
+    if (value.empty())
+        return false;
+    char *end = nullptr;
+    const std::string str(value);
+    errno = 0;
+    out = std::strtoull(str.c_str(), &end, 10);
+    return errno == 0 && end && *end == '\0';
+}
+
+bool
+parseU32(std::string_view value, unsigned &out)
+{
+    std::uint64_t wide = 0;
+    if (!parseU64(value, wide) || wide > 0xffffffffull)
+        return false;
+    out = static_cast<unsigned>(wide);
+    return true;
+}
+
+bool
+parseF64(std::string_view value, double &out)
+{
+    if (value.empty())
+        return false;
+    char *end = nullptr;
+    const std::string str(value);
+    out = std::strtod(str.c_str(), &end);
+    return end && *end == '\0';
+}
+
+bool
+parseBool(std::string_view value, bool &out)
+{
+    if (value == "0") {
+        out = false;
+        return true;
+    }
+    if (value == "1") {
+        out = true;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * One `key=value` line applied to a config under construction.
+ * Handlers return false on a bad value; the table is the complete
+ * canonical-key vocabulary, and an unknown key is itself an error
+ * (a newer client's field this build cannot honour).
+ */
+using LineHandler =
+    std::function<bool(SimConfig &, std::string_view value)>;
+
+const std::unordered_map<std::string, LineHandler> &
+lineHandlers()
+{
+    static const auto *handlers = [] {
+        auto *map = new std::unordered_map<std::string, LineHandler>;
+        auto add = [map](const char *key, LineHandler fn) {
+            (*map)[key] = std::move(fn);
+        };
+
+        add("workload", [](SimConfig &cfg, std::string_view v) {
+            cfg.workload = std::string(v);
+            return !cfg.workload.empty();
+        });
+
+        auto addCache = [&](const char *prefix,
+                            CacheConfig SimConfig::*cache) {
+            const std::string base(prefix);
+            add((base + ".size_bytes").c_str(),
+                [cache](SimConfig &cfg, std::string_view v) {
+                    return parseU32(v, (cfg.*cache).sizeBytes);
+                });
+            add((base + ".ways").c_str(),
+                [cache](SimConfig &cfg, std::string_view v) {
+                    return parseU32(v, (cfg.*cache).ways);
+                });
+            add((base + ".block_size").c_str(),
+                [cache](SimConfig &cfg, std::string_view v) {
+                    return parseU32(v, (cfg.*cache).blockSize);
+                });
+            add((base + ".segment_bytes").c_str(),
+                [cache](SimConfig &cfg, std::string_view v) {
+                    return parseU32(v, (cfg.*cache).segmentBytes);
+                });
+            add((base + ".replacement").c_str(),
+                [cache](SimConfig &cfg, std::string_view v) {
+                    const auto policy = parseReplacementPolicy(v);
+                    if (!policy)
+                        return false;
+                    (cfg.*cache).replacement = *policy;
+                    return true;
+                });
+        };
+        addCache("icache", &SimConfig::icache);
+        addCache("dcache", &SimConfig::dcache);
+
+        add("governor", [](SimConfig &cfg, std::string_view v) {
+            const auto kind = parseGovernorKind(v);
+            if (!kind)
+                return false;
+            cfg.governor = *kind;
+            return true;
+        });
+        add("compressor", [](SimConfig &cfg, std::string_view v) {
+            const auto kind = parseCompressorKind(v);
+            if (!kind)
+                return false;
+            cfg.compressor = *kind;
+            return true;
+        });
+
+        add("kagura.enabled", [](SimConfig &cfg, std::string_view v) {
+            return parseBool(v, cfg.enableKagura);
+        });
+        add("kagura.scheme", [](SimConfig &cfg, std::string_view v) {
+            const auto scheme = parseAdaptScheme(v);
+            if (!scheme)
+                return false;
+            cfg.kagura.scheme = *scheme;
+            return true;
+        });
+        add("kagura.increase_step",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.kagura.increaseStep);
+            });
+        add("kagura.counter_bits",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseU32(v, cfg.kagura.counterBits);
+            });
+        add("kagura.history_depth",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseU32(v, cfg.kagura.historyDepth);
+            });
+        add("kagura.trigger", [](SimConfig &cfg, std::string_view v) {
+            const auto kind = parseTriggerKind(v);
+            if (!kind)
+                return false;
+            cfg.kagura.trigger = *kind;
+            return true;
+        });
+        add("kagura.initial_threshold",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseU64(v, cfg.kagura.initialThreshold);
+            });
+        add("kagura.reward_band",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.kagura.rewardBand);
+            });
+        add("kagura.voltage_trigger_fraction",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.kagura.voltageTriggerFraction);
+            });
+        add("kagura.apply_adjustment",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseBool(v, cfg.kagura.applyAdjustment);
+            });
+        add("kagura.adaptive_threshold",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseBool(v, cfg.kagura.adaptiveThreshold);
+            });
+
+        add("ehs", [](SimConfig &cfg, std::string_view v) {
+            const auto kind = parseEhsKind(v);
+            if (!kind)
+                return false;
+            cfg.ehs = *kind;
+            return true;
+        });
+        add("nvm.type", [](SimConfig &cfg, std::string_view v) {
+            const auto type = parseNvmType(v);
+            if (!type)
+                return false;
+            cfg.nvmType = *type;
+            return true;
+        });
+        add("nvm.bytes", [](SimConfig &cfg, std::string_view v) {
+            return parseU64(v, cfg.nvmBytes);
+        });
+
+        add("capacitor.capacitance",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.capacitor.capacitance);
+            });
+        add("capacitor.v_max", [](SimConfig &cfg, std::string_view v) {
+            return parseF64(v, cfg.capacitor.vMax);
+        });
+        add("capacitor.v_restore",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.capacitor.vRestore);
+            });
+        add("capacitor.v_checkpoint",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.capacitor.vCheckpoint);
+            });
+        add("capacitor.v_shutdown",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.capacitor.vShutdown);
+            });
+        add("capacitor.leakage_per_farad",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.capacitor.leakagePerFarad);
+            });
+
+        add("energy.clock_hz", [](SimConfig &cfg, std::string_view v) {
+            return parseF64(v, cfg.energy.clockHz);
+        });
+        add("energy.core_per_instr",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.energy.corePerInstr);
+            });
+        add("energy.core_leakage",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.energy.coreLeakage);
+            });
+        add("energy.cache_access",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.energy.cacheAccess);
+            });
+        add("energy.cache_leakage_per_byte",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.energy.cacheLeakagePerByte);
+            });
+        add("energy.nvff_write",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.energy.nvffWrite);
+            });
+        add("energy.nvff_read",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.energy.nvffRead);
+            });
+        add("energy.monitor_sample",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.energy.monitorSample);
+            });
+        add("energy.extended_monitor_sample",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.energy.extendedMonitorSample);
+            });
+        add("energy.reboot_latency",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseU64(v, cfg.energy.rebootLatency);
+            });
+        add("energy.reboot_energy",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.energy.rebootEnergy);
+            });
+        add("energy.compaction_energy",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.energy.compactionEnergy);
+            });
+        add("energy.trace_interval",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseF64(v, cfg.energy.traceInterval);
+            });
+
+        add("trace.kind", [](SimConfig &cfg, std::string_view v) {
+            const auto kind = parseTraceKind(v);
+            if (!kind)
+                return false;
+            cfg.trace = *kind;
+            return true;
+        });
+        add("trace.seed", [](SimConfig &cfg, std::string_view v) {
+            return parseU64(v, cfg.traceSeed);
+        });
+        add("trace.scale", [](SimConfig &cfg, std::string_view v) {
+            return parseF64(v, cfg.traceScale);
+        });
+        add("trace.intervals", [](SimConfig &cfg, std::string_view v) {
+            return parseU64(v, cfg.traceIntervals);
+        });
+
+        add("decay.enabled", [](SimConfig &cfg, std::string_view v) {
+            return parseBool(v, cfg.enableDecay);
+        });
+        add("decay.interval", [](SimConfig &cfg, std::string_view v) {
+            return parseU64(v, cfg.decay.decayInterval);
+        });
+        add("prefetch.enabled", [](SimConfig &cfg, std::string_view v) {
+            return parseBool(v, cfg.enablePrefetch);
+        });
+        add("infinite_energy", [](SimConfig &cfg, std::string_view v) {
+            return parseBool(v, cfg.infiniteEnergy);
+        });
+        add("io_region.interval",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseU64(v, cfg.ioRegionInterval);
+            });
+        add("io_region.length",
+            [](SimConfig &cfg, std::string_view v) {
+                return parseU64(v, cfg.ioRegionLength);
+            });
+        add("oracle.mode", [](SimConfig &cfg, std::string_view v) {
+            std::uint64_t mode = 0;
+            if (!parseU64(v, mode) || mode > 2)
+                return false;
+            cfg.oracle = static_cast<OracleMode>(mode);
+            return true;
+        });
+        return map;
+    }();
+    return *handlers;
+}
+
+} // namespace
+
+ParseStatus
+parseCanonicalKey(std::string_view text, SimConfig &out,
+                  std::string &error)
+{
+    out = SimConfig{};
+    // The two trace lines are descriptive, not config fields: they
+    // are recomputed from the local file by canonicalKey(), so the
+    // parser records them for the trust check instead of applying
+    // them through the handler table.
+    std::string traceHash;
+    std::string tracePath;
+
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string_view::npos) {
+            error = "missing trailing newline";
+            return ParseStatus::Malformed;
+        }
+        const std::string_view line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        const std::size_t eq = line.find('=');
+        if (eq == std::string_view::npos || eq == 0) {
+            error = "bad line '" + std::string(line) + "'";
+            return ParseStatus::Malformed;
+        }
+        const std::string key(line.substr(0, eq));
+        const std::string_view value = line.substr(eq + 1);
+
+        if (key == "workload.trace_hash") {
+            traceHash = std::string(value);
+            continue;
+        }
+        if (key == "workload.trace_path") {
+            tracePath = std::string(value);
+            continue;
+        }
+        const auto &handlers = lineHandlers();
+        const auto it = handlers.find(key);
+        if (it == handlers.end()) {
+            error = "unknown key '" + key + "'";
+            return ParseStatus::Malformed;
+        }
+        if (!it->second(out, value)) {
+            error = "bad value in '" + std::string(line) + "'";
+            return ParseStatus::Malformed;
+        }
+    }
+    if (out.workload.empty()) {
+        error = "missing workload line";
+        return ParseStatus::Malformed;
+    }
+
+    // Resolve trace-backed workloads against the local filesystem and
+    // verify the content hash the client pinned.
+    if (!tracePath.empty()) {
+        if (!std::filesystem::exists(tracePath)) {
+            error = "trace file '" + tracePath + "' not found";
+            return ParseStatus::TraceMismatch;
+        }
+        if (!trace::isTraceWorkloadName(out.workload) &&
+            !workloadExists(out.workload))
+            trace::registerTraceFile(out.workload, tracePath);
+        char local[17];
+        std::snprintf(local, sizeof(local), "%016" PRIx64,
+                      trace::traceFileHash(tracePath));
+        if (traceHash != local) {
+            error = "trace file '" + tracePath + "' content hash " +
+                    local + " != submitted " + traceHash;
+            return ParseStatus::TraceMismatch;
+        }
+    } else if (!traceHash.empty()) {
+        error = "trace_hash without trace_path";
+        return ParseStatus::Malformed;
+    }
+    if (!workloadExists(out.workload)) {
+        error = "unknown workload '" + out.workload + "'";
+        return ParseStatus::Malformed;
+    }
+
+    // The round-trip law is the parser's completeness proof: if any
+    // accepted line failed to land in the config (or the local trace
+    // file resolves differently), re-serializing exposes it here
+    // rather than as a silently different simulation.
+    if (out.canonicalKey() != text) {
+        error = "canonical key does not round-trip";
+        return ParseStatus::Malformed;
+    }
+    return ParseStatus::Ok;
+}
+
+std::optional<runner::SimJob::Kind>
+parseJobKind(std::string_view tag)
+{
+    static constexpr runner::SimJob::Kind kinds[] = {
+        runner::SimJob::Kind::Plain,
+        runner::SimJob::Kind::IdealAware,
+        runner::SimJob::Kind::IdealUnaware,
+    };
+    for (runner::SimJob::Kind kind : kinds) {
+        if (tag == runner::jobKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+std::optional<GovernorKind>
+parseGovernorKind(std::string_view name)
+{
+    static constexpr GovernorKind values[] = {
+        GovernorKind::None, GovernorKind::Always, GovernorKind::Acc};
+    return invertName(name, values, governorKindName);
+}
+
+std::optional<CompressorKind>
+parseCompressorKind(std::string_view name)
+{
+    static constexpr CompressorKind values[] = {
+        CompressorKind::Bdi, CompressorKind::Fpc, CompressorKind::CPack,
+        CompressorKind::Dzc, CompressorKind::Bpc, CompressorKind::Fvc};
+    return invertName(name, values, compressorKindName);
+}
+
+std::optional<EhsKind>
+parseEhsKind(std::string_view name)
+{
+    static constexpr EhsKind values[] = {
+        EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache};
+    return invertName(name, values, ehsKindName);
+}
+
+std::optional<NvmType>
+parseNvmType(std::string_view name)
+{
+    static constexpr NvmType values[] = {NvmType::ReRam, NvmType::Pcm,
+                                         NvmType::SttRam};
+    return invertName(name, values, nvmTypeName);
+}
+
+std::optional<TraceKind>
+parseTraceKind(std::string_view name)
+{
+    static constexpr TraceKind values[] = {
+        TraceKind::RfHome, TraceKind::Solar, TraceKind::Thermal,
+        TraceKind::Constant};
+    return invertName(name, values, traceKindName);
+}
+
+std::optional<ReplacementPolicy>
+parseReplacementPolicy(std::string_view name)
+{
+    static constexpr ReplacementPolicy values[] = {
+        ReplacementPolicy::Lru, ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random};
+    return invertName(name, values, replacementPolicyName);
+}
+
+std::optional<AdaptScheme>
+parseAdaptScheme(std::string_view name)
+{
+    static constexpr AdaptScheme values[] = {
+        AdaptScheme::Aimd, AdaptScheme::Miad, AdaptScheme::Aiad,
+        AdaptScheme::Mimd};
+    return invertName(name, values, adaptSchemeName);
+}
+
+std::optional<TriggerKind>
+parseTriggerKind(std::string_view name)
+{
+    static constexpr TriggerKind values[] = {TriggerKind::Memory,
+                                             TriggerKind::Voltage};
+    return invertName(name, values, triggerKindName);
+}
+
+} // namespace sweepd
+} // namespace kagura

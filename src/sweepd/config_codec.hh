@@ -1,0 +1,78 @@
+/**
+ * @file
+ * SimConfig wire codec: the canonical key *is* the wire format.
+ *
+ * A SimConfig travels over kagura.sweep/v1 as the text of
+ * SimConfig::canonicalKey() -- the same fixed-order `key=value`
+ * serialization that names result-cache entries. That choice makes
+ * coverage self-enforcing: any field that affects simulation results
+ * is, by the canonical-key contract, already in the key, so there is
+ * no second field list to keep in sync. parseCanonicalKey() inverts
+ * it, and the round-trip law
+ *
+ *     parse(c.canonicalKey()).canonicalKey() == c.canonicalKey()
+ *
+ * is what the daemon's bit-identity guarantee rests on (tested in
+ * tests/test_sweepd.cc).
+ *
+ * Trace-backed workloads: a canonical key for a trace workload
+ * carries `workload.trace_hash` and `workload.trace_path` lines. The
+ * parser resolves the workload on the daemon side (registering the
+ * alias from the path when needed) and then *verifies* the local
+ * file's content hash against the client's line -- a mismatch is a
+ * typed error, because silently simulating a different trace would
+ * break the bit-identity contract.
+ */
+
+#ifndef KAGURA_SWEEPD_CONFIG_CODEC_HH
+#define KAGURA_SWEEPD_CONFIG_CODEC_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "runner/runner.hh"
+#include "sim/sim_config.hh"
+
+namespace kagura
+{
+namespace sweepd
+{
+
+/** Why a canonical key failed to parse. */
+enum class ParseStatus
+{
+    Ok,
+    Malformed,     ///< bad line syntax, unknown key, bad value
+    TraceMismatch, ///< trace file missing or content hash differs
+};
+
+/**
+ * Rebuild @p out from canonical-key text. On failure returns the
+ * status and describes the offending line in @p error.
+ */
+ParseStatus parseCanonicalKey(std::string_view text, SimConfig &out,
+                              std::string &error);
+
+/** runner::jobKindName() inverse (nullopt for an unknown tag). */
+std::optional<runner::SimJob::Kind> parseJobKind(std::string_view tag);
+
+/*
+ * Name -> enum inverses for the grid CLI and the parser. Each returns
+ * nullopt for an unknown name; the accepted spellings are exactly the
+ * *KindName() strings (case-insensitive).
+ */
+std::optional<GovernorKind> parseGovernorKind(std::string_view name);
+std::optional<CompressorKind> parseCompressorKind(std::string_view name);
+std::optional<EhsKind> parseEhsKind(std::string_view name);
+std::optional<NvmType> parseNvmType(std::string_view name);
+std::optional<TraceKind> parseTraceKind(std::string_view name);
+std::optional<ReplacementPolicy>
+parseReplacementPolicy(std::string_view name);
+std::optional<AdaptScheme> parseAdaptScheme(std::string_view name);
+std::optional<TriggerKind> parseTriggerKind(std::string_view name);
+
+} // namespace sweepd
+} // namespace kagura
+
+#endif // KAGURA_SWEEPD_CONFIG_CODEC_HH

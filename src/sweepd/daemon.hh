@@ -1,0 +1,144 @@
+/**
+ * @file
+ * kagura_sweepd: the persistent sweep daemon. One process owns one
+ * work-stealing pool (src/runner's ThreadPool) and serves simulation
+ * jobs to any number of clients over a Unix-domain socket speaking
+ * kagura.sweep/v1 (sweepd/protocol.hh).
+ *
+ * Execution path: every accepted job goes through runner::runJob --
+ * the same cache-consult / simulate / store pipeline the in-process
+ * runner uses -- so a daemon-served sweep is bit-identical to a local
+ * one by construction, and all clients share a single .kagura-cache
+ * as a content-addressed artifact store (also exposed directly via
+ * the CACHE_GET/CACHE_PUT frames).
+ *
+ * Concurrency model: one accept loop, one reader thread per
+ * connection, and the shared pool. A SUBMIT batch fans out one pool
+ * task per job; each task streams its RESULT frame (index-tagged, so
+ * the client's aggregation stays slot-addressed and deterministic)
+ * under a per-connection write lock. A dropped connection or a
+ * daemon stop() abandons the batch: queued tasks become no-ops, and
+ * in-flight simulations finish into the cache -- which is exactly
+ * what makes an interrupted sweep resumable. Completion bookkeeping
+ * for named sweeps persists via sweepd/manifest.hh.
+ */
+
+#ifndef KAGURA_SWEEPD_DAEMON_HH
+#define KAGURA_SWEEPD_DAEMON_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/thread_pool.hh"
+
+namespace kagura
+{
+namespace sweepd
+{
+
+/** The daemon; construct, start(), and eventually stop(). */
+class SweepDaemon
+{
+  public:
+    struct Options
+    {
+        /** Unix-domain socket path (required). */
+        std::string socketPath;
+        /** Worker threads; 0 = runner default (KAGURA_JOBS / cores). */
+        unsigned threads = 0;
+    };
+
+    explicit SweepDaemon(Options options);
+    ~SweepDaemon();
+
+    SweepDaemon(const SweepDaemon &) = delete;
+    SweepDaemon &operator=(const SweepDaemon &) = delete;
+
+    /**
+     * Bind the socket and start serving. Returns false (with a
+     * message in @p error) when the path is unusable or another
+     * daemon already listens there.
+     */
+    bool start(std::string *error);
+
+    /**
+     * Stop serving: abandon active batches (queued jobs are skipped;
+     * in-flight simulations finish into the result cache), close all
+     * connections, join every thread. Idempotent.
+     */
+    void stop();
+
+    /** Block until a client's SHUTDOWN frame requests a stop. */
+    void waitForShutdownRequest();
+
+    /** Wake waitForShutdownRequest() (signal handlers, tests). */
+    void requestShutdown();
+
+    bool running() const { return isRunning; }
+    unsigned poolThreads() const { return poolWidth; }
+    const std::string &socketPath() const { return opts.socketPath; }
+
+  private:
+    struct Connection;
+    struct BatchState;
+
+    void acceptLoop();
+    void handleConnection(std::shared_ptr<Connection> conn);
+    bool handleHello(Connection &conn, const std::string &payload);
+    void handleSubmit(std::shared_ptr<Connection> conn,
+                      const std::string &payload);
+    void runBatchJob(std::shared_ptr<BatchState> batch,
+                     std::uint32_t index);
+    void sendError(Connection &conn, std::uint16_t code,
+                   std::string message);
+    void abandonBatches(Connection *conn);
+
+    Options opts;
+    std::atomic<bool> isRunning{false};
+    std::atomic<bool> stopping{false};
+    unsigned poolWidth = 0;
+    int listenFd = -1;
+    int wakePipe[2] = {-1, -1};
+
+    std::unique_ptr<runner::ThreadPool> pool;
+    std::thread acceptThread;
+
+    /** One reader thread per connection, reaped once it finishes. */
+    struct HandlerSlot
+    {
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    std::mutex connMutex;
+    std::vector<std::shared_ptr<Connection>> connections;
+    std::list<HandlerSlot> handlerThreads;
+
+    std::mutex batchMutex;
+    std::vector<std::weak_ptr<BatchState>> batches;
+
+    std::mutex shutdownMutex;
+    std::condition_variable shutdownCv;
+    bool shutdownRequested = false;
+
+    std::atomic<std::uint32_t> clientCount{0};
+    std::atomic<std::uint64_t> batchCount{0};
+    std::atomic<std::uint64_t> jobsServed{0};
+    std::atomic<std::uint64_t> simsServed{0};
+    std::atomic<std::uint64_t> hitsServed{0};
+    std::atomic<std::uint64_t> missesServed{0};
+    std::chrono::steady_clock::time_point startedAt;
+};
+
+} // namespace sweepd
+} // namespace kagura
+
+#endif // KAGURA_SWEEPD_DAEMON_HH

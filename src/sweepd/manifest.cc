@@ -1,0 +1,115 @@
+#include "sweepd/manifest.hh"
+
+#include <cinttypes>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+namespace sweepd
+{
+
+namespace
+{
+
+constexpr char manifestMagic[] = "kagura.sweep-manifest/v1";
+
+} // namespace
+
+bool
+Manifest::validId(const std::string &id)
+{
+    if (id.empty() || id.size() > 128)
+        return false;
+    for (char c : id) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+Manifest::pathFor(const std::string &directory, const std::string &id)
+{
+    return directory + "/manifests/" + id + ".sweep";
+}
+
+Manifest::Manifest(const std::string &directory, const std::string &id)
+    : filePath(pathFor(directory, id))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(directory + "/manifests", ec);
+
+    // Load existing `done` lines; skip anything malformed.
+    if (std::FILE *f = std::fopen(filePath.c_str(), "r")) {
+        char line[128];
+        bool first = true;
+        while (std::fgets(line, sizeof(line), f)) {
+            const std::size_t len = std::strcspn(line, "\n");
+            line[len] = '\0';
+            if (first) {
+                first = false;
+                if (std::strcmp(line, manifestMagic) != 0) {
+                    warn("sweep manifest '%s': unexpected header; "
+                         "treating as empty",
+                         filePath.c_str());
+                    break;
+                }
+                continue;
+            }
+            std::uint64_t hash = 0;
+            if (std::sscanf(line, "done %" SCNx64, &hash) == 1)
+                done.insert(hash);
+        }
+        std::fclose(f);
+    }
+
+    appender = std::fopen(filePath.c_str(), "a");
+    if (!appender) {
+        warn("sweep manifest '%s': cannot open for append; resume "
+             "bookkeeping disabled for this sweep",
+             filePath.c_str());
+        return;
+    }
+    if (std::ftell(appender) == 0)
+        std::fprintf(appender, "%s\n", manifestMagic);
+}
+
+Manifest::~Manifest()
+{
+    if (appender)
+        std::fclose(appender);
+}
+
+bool
+Manifest::isDone(std::uint64_t job_hash) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return done.count(job_hash) != 0;
+}
+
+void
+Manifest::markDone(std::uint64_t job_hash)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!done.insert(job_hash).second || !appender)
+        return;
+    std::fprintf(appender, "done %016" PRIx64 "\n", job_hash);
+    std::fflush(appender);
+}
+
+std::size_t
+Manifest::doneCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return done.size();
+}
+
+} // namespace sweepd
+} // namespace kagura

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sweep manifests: durable per-sweep completion records, so an
+ * interrupted parameter-space grid resumes from its completed
+ * entries instead of starting over.
+ *
+ * A manifest is a text file under <cache-dir>/manifests/<id>.sweep:
+ *
+ *     kagura.sweep-manifest/v1
+ *     done <16-hex job hash>
+ *     done <16-hex job hash>
+ *     ...
+ *
+ * The daemon appends one `done` line (O_APPEND, single write, then
+ * fsync-free best effort) as each job completes, and loads the file
+ * when a batch naming the same manifest id is submitted -- entries
+ * already listed are reported back as `resumed`, and their results
+ * replay from the content-addressed result cache rather than being
+ * resimulated. Duplicate lines (a job completed in two interrupted
+ * attempts) are harmless: the set semantics deduplicate on load. A
+ * malformed line is skipped with the same corrupt-tolerant stance as
+ * the CacheStore -- losing a `done` line costs one redundant cache
+ * lookup, never correctness.
+ */
+
+#ifndef KAGURA_SWEEPD_MANIFEST_HH
+#define KAGURA_SWEEPD_MANIFEST_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+namespace kagura
+{
+namespace sweepd
+{
+
+/** One sweep's completion record; thread-safe. */
+class Manifest
+{
+  public:
+    /** Load (or create empty) the manifest named @p id. */
+    Manifest(const std::string &directory, const std::string &id);
+    ~Manifest();
+
+    Manifest(const Manifest &) = delete;
+    Manifest &operator=(const Manifest &) = delete;
+
+    /** Valid manifest ids: non-empty [A-Za-z0-9._-], <= 128 chars. */
+    static bool validId(const std::string &id);
+
+    /** Manifest file path for @p id under @p directory. */
+    static std::string pathFor(const std::string &directory,
+                               const std::string &id);
+
+    /** Was @p job_hash already recorded done when loaded/marked? */
+    bool isDone(std::uint64_t job_hash) const;
+
+    /** Record @p job_hash complete (appends unless already listed). */
+    void markDone(std::uint64_t job_hash);
+
+    /** Number of distinct completed entries. */
+    std::size_t doneCount() const;
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    std::string filePath;
+    mutable std::mutex mutex;
+    std::unordered_set<std::uint64_t> done;
+    std::FILE *appender = nullptr;
+};
+
+} // namespace sweepd
+} // namespace kagura
+
+#endif // KAGURA_SWEEPD_MANIFEST_HH

@@ -1,0 +1,461 @@
+#include "sweepd/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace kagura
+{
+namespace sweepd
+{
+
+namespace
+{
+
+/*
+ * Little-endian scalar/string packing. The reader carries a fail flag
+ * instead of throwing: every decoder drains to the end and reports
+ * one boolean, which keeps the truncation-handling uniform and easy
+ * to fuzz (any prefix of a valid payload must decode to false, never
+ * read out of bounds, and never loop).
+ */
+
+void
+putU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU16(std::string &out, std::uint16_t v)
+{
+    for (int i = 0; i < 2; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putF64(std::string &out, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putString(std::string &out, std::string_view s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+class Reader
+{
+  public:
+    explicit Reader(std::string_view bytes) : data(bytes) {}
+
+    std::uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return static_cast<unsigned char>(data[pos++]);
+    }
+
+    std::uint16_t
+    u16()
+    {
+        if (!need(2))
+            return 0;
+        std::uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<std::uint16_t>(
+                     static_cast<unsigned char>(data[pos + i]))
+                 << (8 * i);
+        pos += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(data[pos + i]))
+                 << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(data[pos + i]))
+                 << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        if (!need(len))
+            return {};
+        std::string s(data.substr(pos, len));
+        pos += len;
+        return s;
+    }
+
+    /** Whole payload consumed with no trailing garbage? */
+    bool
+    done() const
+    {
+        return ok && pos == data.size();
+    }
+
+  private:
+    bool
+    need(std::size_t n)
+    {
+        if (!ok || data.size() - pos < n) {
+            ok = false;
+            return false;
+        }
+        return true;
+    }
+
+    std::string_view data;
+    std::size_t pos = 0;
+    bool ok = true;
+};
+
+/** recv() exactly @p n bytes; loops over short reads and EINTR. */
+ReadStatus
+readExact(int fd, char *buf, std::size_t n, bool at_boundary)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+        if (r > 0) {
+            got += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r == 0)
+            return got == 0 && at_boundary ? ReadStatus::Eof
+                                           : ReadStatus::Truncated;
+        if (errno == EINTR)
+            continue;
+        return ReadStatus::IoError;
+    }
+    return ReadStatus::Ok;
+}
+
+} // namespace
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::VersionMismatch:
+        return "version-mismatch";
+      case ErrorCode::Malformed:
+        return "malformed";
+      case ErrorCode::BadJob:
+        return "bad-job";
+      case ErrorCode::TooLarge:
+        return "too-large";
+      case ErrorCode::TraceMismatch:
+        return "trace-mismatch";
+      case ErrorCode::Internal:
+        return "internal";
+      case ErrorCode::Rejected:
+        return "rejected";
+    }
+    return "unknown";
+}
+
+std::string
+encodeHello(const HelloBody &body)
+{
+    std::string out;
+    putU32(out, body.protocol);
+    putU64(out, body.simulatorSalt);
+    putU32(out, body.resultFormat);
+    putU32(out, body.poolThreads);
+    return out;
+}
+
+bool
+decodeHello(std::string_view bytes, HelloBody &out)
+{
+    Reader r(bytes);
+    out.protocol = r.u32();
+    out.simulatorSalt = r.u64();
+    out.resultFormat = r.u32();
+    out.poolThreads = r.u32();
+    return r.done();
+}
+
+std::string
+encodeError(const ErrorBody &body)
+{
+    std::string out;
+    putU16(out, static_cast<std::uint16_t>(body.code));
+    putString(out, body.message);
+    return out;
+}
+
+bool
+decodeError(std::string_view bytes, ErrorBody &out)
+{
+    Reader r(bytes);
+    out.code = static_cast<ErrorCode>(r.u16());
+    out.message = r.str();
+    return r.done();
+}
+
+std::string
+encodeSubmit(const SubmitBody &body)
+{
+    std::string out;
+    putU64(out, body.batchId);
+    putString(out, body.manifest);
+    putU32(out, static_cast<std::uint32_t>(body.jobs.size()));
+    for (const JobSpec &job : body.jobs) {
+        putString(out, job.kind);
+        putString(out, job.canonicalKey);
+    }
+    return out;
+}
+
+bool
+decodeSubmit(std::string_view bytes, SubmitBody &out)
+{
+    Reader r(bytes);
+    out.batchId = r.u64();
+    out.manifest = r.str();
+    const std::uint32_t count = r.u32();
+    // A job spec is at least 8 bytes of length prefixes; anything
+    // claiming more jobs than the payload could hold is malformed
+    // before we allocate for it.
+    if (count > bytes.size() / 8)
+        return false;
+    out.jobs.clear();
+    out.jobs.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        JobSpec job;
+        job.kind = r.str();
+        job.canonicalKey = r.str();
+        out.jobs.push_back(std::move(job));
+    }
+    return r.done();
+}
+
+std::string
+encodeProgress(const ProgressBody &body)
+{
+    std::string out;
+    putU64(out, body.batchId);
+    putU32(out, body.done);
+    putU32(out, body.total);
+    putU32(out, body.cacheHits);
+    putU32(out, body.simulations);
+    putU32(out, body.resumed);
+    return out;
+}
+
+bool
+decodeProgress(std::string_view bytes, ProgressBody &out)
+{
+    Reader r(bytes);
+    out.batchId = r.u64();
+    out.done = r.u32();
+    out.total = r.u32();
+    out.cacheHits = r.u32();
+    out.simulations = r.u32();
+    out.resumed = r.u32();
+    return r.done();
+}
+
+std::string
+encodeResult(const ResultBody &body)
+{
+    std::string out;
+    putU64(out, body.batchId);
+    putU32(out, body.index);
+    putU8(out, body.cached ? 1 : 0);
+    putF64(out, body.seconds);
+    putString(out, body.payload);
+    return out;
+}
+
+bool
+decodeResult(std::string_view bytes, ResultBody &out)
+{
+    Reader r(bytes);
+    out.batchId = r.u64();
+    out.index = r.u32();
+    out.cached = r.u8() != 0;
+    out.seconds = r.f64();
+    out.payload = r.str();
+    return r.done();
+}
+
+std::string
+encodeBatchDone(const BatchDoneBody &body)
+{
+    std::string out;
+    putU64(out, body.batchId);
+    putU32(out, body.total);
+    putU32(out, body.cacheHits);
+    putU32(out, body.simulations);
+    putU32(out, body.resumed);
+    return out;
+}
+
+bool
+decodeBatchDone(std::string_view bytes, BatchDoneBody &out)
+{
+    Reader r(bytes);
+    out.batchId = r.u64();
+    out.total = r.u32();
+    out.cacheHits = r.u32();
+    out.simulations = r.u32();
+    out.resumed = r.u32();
+    return r.done();
+}
+
+std::string
+encodeCache(const CacheBody &body)
+{
+    std::string out;
+    putU64(out, body.hash);
+    putString(out, body.keyText);
+    putString(out, body.payload);
+    return out;
+}
+
+bool
+decodeCache(std::string_view bytes, CacheBody &out)
+{
+    Reader r(bytes);
+    out.hash = r.u64();
+    out.keyText = r.str();
+    out.payload = r.str();
+    return r.done();
+}
+
+std::string
+encodeStatus(const StatusBody &body)
+{
+    std::string out;
+    putU32(out, body.poolThreads);
+    putU32(out, body.clients);
+    putU64(out, body.batches);
+    putU64(out, body.jobsDone);
+    putU64(out, body.simulations);
+    putU64(out, body.cacheHits);
+    putU64(out, body.cacheMisses);
+    putF64(out, body.uptimeSeconds);
+    return out;
+}
+
+bool
+decodeStatus(std::string_view bytes, StatusBody &out)
+{
+    Reader r(bytes);
+    out.poolThreads = r.u32();
+    out.clients = r.u32();
+    out.batches = r.u64();
+    out.jobsDone = r.u64();
+    out.simulations = r.u64();
+    out.cacheHits = r.u64();
+    out.cacheMisses = r.u64();
+    out.uptimeSeconds = r.f64();
+    return r.done();
+}
+
+ReadStatus
+readFrame(int fd, Frame &out)
+{
+    char header[5];
+    ReadStatus status = readExact(fd, header, sizeof(header), true);
+    if (status != ReadStatus::Ok)
+        return status;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(header[i]))
+               << (8 * i);
+    if (len > maxFramePayload)
+        return ReadStatus::TooLarge;
+    out.type = static_cast<FrameType>(
+        static_cast<unsigned char>(header[4]));
+    out.payload.resize(len);
+    if (len == 0)
+        return ReadStatus::Ok;
+    return readExact(fd, out.payload.data(), len, false);
+}
+
+bool
+writeFrame(int fd, FrameType type, std::string_view payload)
+{
+    if (payload.size() > maxFramePayload)
+        return false;
+    std::string frame;
+    frame.reserve(5 + payload.size());
+    putU32(frame, static_cast<std::uint32_t>(payload.size()));
+    putU8(frame, static_cast<std::uint8_t>(type));
+    frame += payload;
+
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t w = ::send(fd, frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (w > 0) {
+            sent += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace sweepd
+} // namespace kagura

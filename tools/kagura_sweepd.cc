@@ -1,0 +1,122 @@
+/**
+ * @file
+ * kagura_sweepd -- the persistent sweep daemon binary.
+ *
+ * Binds a Unix-domain socket, serves kagura.sweep/v1 (SUBMIT batches,
+ * CACHE_GET/CACHE_PUT, STATUS) on a shared work-stealing pool, and
+ * runs until a client sends SHUTDOWN (kagura_sweep stop) or the
+ * process receives SIGINT/SIGTERM. All served jobs share this
+ * process's result cache ($KAGURA_CACHE_DIR), which is what turns the
+ * cache into a content-addressed artifact store for the whole fleet.
+ *
+ * Examples:
+ *   kagura_sweepd --socket /tmp/kagura.sock
+ *   kagura_sweepd --socket /tmp/kagura.sock --jobs 8
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "runner/cache_store.hh"
+#include "sweepd/daemon.hh"
+
+using namespace kagura;
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "kagura_sweepd -- persistent sweep daemon (kagura.sweep/v1)\n"
+        "\n"
+        "usage: kagura_sweepd --socket PATH [--jobs N]\n"
+        "\n"
+        "  --socket PATH   Unix-domain socket to listen on (default:\n"
+        "                  $KAGURA_SWEEPD, else .kagura-sweepd.sock)\n"
+        "  --jobs N        worker threads (default: KAGURA_JOBS env,\n"
+        "                  else all cores)\n"
+        "\n"
+        "Runs in the foreground until SIGINT/SIGTERM or a client's\n"
+        "SHUTDOWN frame (kagura_sweep stop). Results are cached in\n"
+        "$KAGURA_CACHE_DIR (default .kagura-cache/), shared with every\n"
+        "in-process runner pointing at the same directory.");
+}
+
+std::string
+defaultSocket()
+{
+    const char *env = std::getenv("KAGURA_SWEEPD");
+    return env && env[0] ? env : ".kagura-sweepd.sock";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sweepd::SweepDaemon::Options opts;
+    opts.socketPath = defaultSocket();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--socket") {
+            opts.socketPath = value();
+        } else if (arg == "--jobs") {
+            opts.threads =
+                static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+        } else {
+            fatal("unknown option '%s' (try --help)", arg.c_str());
+        }
+    }
+
+    // Route SIGINT/SIGTERM through sigwait(): block them before any
+    // thread spawns (children inherit the mask), so delivery is
+    // synchronous in main and teardown is an ordinary stop() call.
+    sigset_t signals;
+    sigemptyset(&signals);
+    sigaddset(&signals, SIGINT);
+    sigaddset(&signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+    sweepd::SweepDaemon daemon(opts);
+    std::string error;
+    if (!daemon.start(&error))
+        fatal("%s", error.c_str());
+    inform("kagura_sweepd: listening on %s (%u workers, cache %s)",
+           daemon.socketPath().c_str(), daemon.poolThreads(),
+           runner::CacheStore::global().enabled()
+               ? runner::CacheStore::global().directory().c_str()
+               : "disabled");
+
+    // A client SHUTDOWN wakes this thread, which converts it into the
+    // same SIGTERM path a ctrl-C takes.
+    std::thread watcher([&daemon] {
+        daemon.waitForShutdownRequest();
+        ::kill(::getpid(), SIGTERM);
+    });
+
+    int sig = 0;
+    sigwait(&signals, &sig);
+    daemon.requestShutdown(); // wake the watcher if a real signal won
+    watcher.join();
+    daemon.stop();
+    inform("kagura_sweepd: stopped (%s)",
+           sig == SIGINT ? "SIGINT" : "shutdown");
+    return 0;
+}
