@@ -52,7 +52,8 @@ printTelemetry()
     sink->flush();
 }
 
-/** Emit one per-app table cell as a labelled gauge record. */
+} // namespace
+
 void
 emitCell(const char *name, const std::string &app,
          const std::string &config, double value)
@@ -65,11 +66,6 @@ emitCell(const char *name, const std::string &app,
     metrics::emitRecord(std::move(rec));
 }
 
-/**
- * Geometric-mean wall-time speedup ratio of @p cfg over @p baseline
- * across the suite (1.0 = parity), from the seed-paired per-app mean
- * speedups the tables print.
- */
 double
 speedupGeomean(const SuiteResult &cfg, const SuiteResult &baseline)
 {
@@ -85,6 +81,9 @@ speedupGeomean(const SuiteResult &cfg, const SuiteResult &baseline)
     }
     return n ? std::exp(log_sum / static_cast<double>(n)) : 1.0;
 }
+
+namespace
+{
 
 /** Mean-over-runs total energy (pJ) summed over a suite's apps. */
 double

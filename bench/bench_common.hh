@@ -68,6 +68,21 @@ void printEnergyTable(const SuiteResult &baseline,
                       const std::vector<SuiteResult> &configs);
 
 /**
+ * Emit one per-app table cell as a labelled gauge record (no-op
+ * without a metrics sink). Benches that lay out their own tables use
+ * this to still land in the kagura.bench/v1 summary.
+ */
+void emitCell(const char *name, const std::string &app,
+              const std::string &config, double value);
+
+/**
+ * Geometric-mean wall-time speedup ratio of @p cfg over @p baseline
+ * across the suite (1.0 = parity), from the seed-paired per-app mean
+ * speedups the tables print.
+ */
+double speedupGeomean(const SuiteResult &cfg, const SuiteResult &baseline);
+
+/**
  * A reduced application list for the expensive multi-configuration
  * sweeps (sensitivity studies); spans compressible/incompressible and
  * memory-/compute-bound corners of the suite.

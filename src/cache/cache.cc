@@ -4,7 +4,6 @@
 #include <cstring>
 
 #include "common/logging.hh"
-#include "common/rng.hh"
 #include "metrics/registry.hh"
 
 namespace kagura
@@ -35,20 +34,6 @@ CacheStats::recordMetrics(metrics::MetricSet &set,
     set.counter(leaf("prefetch_fills")).add(prefetchFills);
     set.counter(leaf("decay_writebacks")).add(decayWritebacks);
     set.gauge(leaf("miss_rate")).set(missRate());
-}
-
-const char *
-replacementPolicyName(ReplacementPolicy policy)
-{
-    switch (policy) {
-      case ReplacementPolicy::Lru:
-        return "LRU";
-      case ReplacementPolicy::Fifo:
-        return "FIFO";
-      case ReplacementPolicy::Random:
-        return "random";
-    }
-    panic("unknown ReplacementPolicy %d", static_cast<int>(policy));
 }
 
 namespace
@@ -95,6 +80,15 @@ Cache::Cache(const CacheConfig &config, Nvm &nvm,
                 (s * slots_per_set + w) * cfg.blockSize;
         }
     }
+
+    repl::PolicyGeometry geom;
+    geom.sets = cfg.sets();
+    geom.ways = cfg.ways;
+    geom.slotsPerSet = static_cast<unsigned>(slots_per_set);
+    geom.blockSize = cfg.blockSize;
+    geom.segmentBytes = cfg.segmentBytes;
+    repl_ = repl::makePolicy(cfg.replacement, geom);
+    candScratch.reserve(slots_per_set);
 }
 
 unsigned
@@ -171,8 +165,11 @@ Cache::writeback(Line &line, AccessOutcome &out)
 }
 
 void
-Cache::evictLine(Set &set, Line &line, AccessOutcome &out)
+Cache::evictLine(Set &set, Line &line, bool dead, AccessOutcome &out)
 {
+    const unsigned occupied = line.occupied;
+    const bool was_dirty = line.dirty;
+
     // A compressed block must be decompressed on its way out (Eq. 2's
     // L term), whether it is written back or dropped.
     if (line.compressed) {
@@ -197,6 +194,8 @@ Cache::evictLine(Set &set, Line &line, AccessOutcome &out)
     line.occupied = 0;
     ++out.evictions;
     ++stat.evictions;
+    repl_->noteEviction(indexOf(set), slotOf(set, line), occupied,
+                        was_dirty, dead);
     if (gov)
         gov->noteEviction(line.base, avoidable);
 }
@@ -219,12 +218,30 @@ Cache::makeRoom(Set &set, unsigned needed, bool may_compress,
         return valid < max_tags;
     };
 
-    // First, compress resident uncompressed lines (LRU-first) to carve
-    // out space -- this is the "compress existing blocks to make room"
-    // behaviour Section I describes, and exactly the work Kagura's
-    // Regular Mode avoids.
+    repl::SelectContext ctx;
+    ctx.setIndex = indexOf(set);
+    ctx.useCounter = useCounter;
+
+    const auto candidateOf = [this](const Set &owning, const Line &line) {
+        repl::Candidate cand;
+        cand.slot = slotOf(owning, line);
+        cand.base = line.base;
+        cand.lastUse = line.lastUse;
+        cand.inserted = line.inserted;
+        cand.occupied = line.occupied;
+        cand.compressed = line.compressed;
+        cand.dirty = line.dirty;
+        return cand;
+    };
+
+    // First, compress resident uncompressed lines to carve out space
+    // -- this is the "compress existing blocks to make room" behaviour
+    // Section I describes, and exactly the work Kagura's Regular Mode
+    // avoids. The policy picks which line to shrink (historically
+    // LRU-first for every policy; repl::ReplacementPolicy keeps that
+    // default).
     while (may_compress && comp && free_bytes() < needed) {
-        Line *victim = nullptr;
+        candScratch.clear();
         for (Line &line : set) {
             if (!line.valid || line.compressed || line.incompressible ||
                 &line == exclude) {
@@ -232,11 +249,14 @@ Cache::makeRoom(Set &set, unsigned needed, bool may_compress,
             }
             if (gov && !gov->shouldCompress(line.base))
                 continue;
-            if (!victim || line.lastUse < victim->lastUse)
-                victim = &line;
+            candScratch.push_back(candidateOf(set, line));
         }
-        if (!victim)
+        if (candScratch.empty())
             break;
+        const std::size_t pick = repl_->compressionVictim(
+            candScratch.data(), candScratch.size(), ctx);
+        kagura_assert(pick < candScratch.size());
+        Line *victim = &set[candScratch[pick].slot];
         bool worthwhile = false;
         const unsigned footprint =
             compressedFootprint(lineData(*victim), worthwhile);
@@ -256,49 +276,25 @@ Cache::makeRoom(Set &set, unsigned needed, bool may_compress,
         victim->occupied = footprint;
     }
 
-    // Then evict lines until both space and a tag slot exist; EDBP's
-    // predicted-dead lines go first, then the configured policy.
+    // Then evict lines until both space and a tag slot exist. The
+    // policy sees every valid line with its compressed footprint and
+    // EDBP dead flag; predicted-dead lines go first (the shared
+    // eviction rule), then the policy's own order.
     while (free_bytes() < needed || !free_tag()) {
-        Line *victim = nullptr;
-        bool victim_dead = false;
-        std::uint64_t random_pick = 0;
-        if (cfg.replacement == ReplacementPolicy::Random) {
-            // Deterministic draw: hash the access counter.
-            std::uint64_t h = useCounter + 0x9e3779b97f4a7c15ULL;
-            random_pick = splitMix64(h);
-        }
-        std::size_t candidate_index = 0;
+        candScratch.clear();
         for (Line &line : set) {
             if (!line.valid || &line == exclude)
                 continue;
-            const bool dead = decay && decay->isDead(line.lastTouch, now);
-            bool better = false;
-            if (!victim || (dead && !victim_dead)) {
-                better = true;
-            } else if (dead == victim_dead) {
-                switch (cfg.replacement) {
-                  case ReplacementPolicy::Lru:
-                    better = line.lastUse < victim->lastUse;
-                    break;
-                  case ReplacementPolicy::Fifo:
-                    better = line.inserted < victim->inserted;
-                    break;
-                  case ReplacementPolicy::Random:
-                    // Pick the candidate whose index matches the draw
-                    // (modulo the number of valid lines seen so far).
-                    better = (random_pick % (candidate_index + 1)) ==
-                             candidate_index;
-                    break;
-                }
-            }
-            if (better) {
-                victim = &line;
-                victim_dead = dead;
-            }
-            ++candidate_index;
+            repl::Candidate cand = candidateOf(set, line);
+            cand.dead = decay && decay->isDead(line.lastTouch, now);
+            candScratch.push_back(cand);
         }
-        kagura_assert(victim != nullptr);
-        evictLine(set, *victim, out);
+        kagura_assert(!candScratch.empty());
+        const std::size_t pick =
+            repl_->victim(candScratch.data(), candScratch.size(), ctx);
+        kagura_assert(pick < candScratch.size());
+        evictLine(set, set[candScratch[pick].slot], candScratch[pick].dead,
+                  out);
     }
 }
 
@@ -387,6 +383,7 @@ Cache::fillLine(Addr addr, Cycles now, AccessOutcome &out)
     slot->inserted = slot->lastUse;
     slot->lastTouch = now;
     std::memcpy(lineData(*slot).data(), data.data(), cfg.blockSize);
+    repl_->noteFill(setIndex(addr), slotOf(set, *slot), base, footprint);
     return *slot;
 }
 
@@ -409,6 +406,7 @@ Cache::access(Addr addr, bool is_write, std::uint8_t *data, unsigned size,
     if (line) {
         out.hit = true;
         ++stat.hits;
+        repl_->noteTouch(setIndex(addr), slotOf(set, *line), is_write);
         if (line->compressed) {
             out.hitCompressed = true;
             ++out.decompressions;
@@ -458,6 +456,7 @@ Cache::access(Addr addr, bool is_write, std::uint8_t *data, unsigned size,
     }
 
     const unsigned offset = static_cast<unsigned>(addr % cfg.blockSize);
+    const unsigned occupiedBeforeWrite = line->occupied;
     if (is_write) {
         kagura_assert(data != nullptr);
         std::memcpy(lineData(*line).data() + offset, data, size);
@@ -517,6 +516,13 @@ Cache::access(Addr addr, bool is_write, std::uint8_t *data, unsigned size,
         std::memcpy(data, lineData(*line).data() + offset, size);
     }
 
+    if (line->occupied != occupiedBeforeWrite) {
+        repl_->noteResize(setIndex(addr), slotOf(set, *line),
+                          line->occupied);
+    }
+    repl_->noteAccess(setIndex(addr), blockBase(addr), out.hit,
+                      line->occupied);
+
     line->lastUse = ++useCounter;
     line->lastTouch = now;
 
@@ -570,6 +576,7 @@ Cache::flushAndInvalidate()
         }
     }
     shadow.invalidateAll();
+    repl_->noteCacheCleared();
     if (gov)
         gov->noteCacheCleared();
     return flush;
@@ -585,6 +592,7 @@ Cache::invalidateAll()
         }
     }
     shadow.invalidateAll();
+    repl_->noteCacheCleared();
     if (gov)
         gov->noteCacheCleared();
 }

@@ -27,6 +27,7 @@
 #define KAGURA_CACHE_CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -39,20 +40,10 @@
 #include "compress/compressor.hh"
 #include "mem/nvm.hh"
 #include "metrics/fwd.hh"
+#include "repl/policy.hh"
 
 namespace kagura
 {
-
-/** Victim selection policy (Table I uses LRU). */
-enum class ReplacementPolicy
-{
-    Lru,    ///< least recently used (default, Table I)
-    Fifo,   ///< oldest insertion first
-    Random, ///< pseudo-random (deterministic hash of access count)
-};
-
-/** Human-readable policy name. */
-const char *replacementPolicyName(ReplacementPolicy policy);
 
 /** Geometry of one cache (Table I: 256 B, 2-way, 32 B blocks). */
 struct CacheConfig
@@ -62,8 +53,8 @@ struct CacheConfig
     unsigned blockSize = 32;
     /** Allocation granule of the compressed data space. */
     unsigned segmentBytes = 8;
-    /** Victim selection policy. */
-    ReplacementPolicy replacement = ReplacementPolicy::Lru;
+    /** Victim selection policy (src/repl). */
+    ReplKind replacement = ReplKind::Lru;
 
     /** Number of sets implied by the geometry. */
     unsigned
@@ -213,6 +204,9 @@ class Cache
     /** Replace the governor (mode-wrapping controllers). */
     void setGovernor(CompressionGovernor *governor) { gov = governor; }
 
+    /** The victim-selection policy driving this cache. */
+    const repl::ReplacementPolicy &replPolicy() const { return *repl_; }
+
     /** The geometry this cache was built with. */
     const CacheConfig &config() const { return cfg; }
 
@@ -274,14 +268,18 @@ class Cache
     /**
      * Make at least @p needed bytes and one tag slot available in
      * @p set: first (if @p may_compress) compress resident
-     * uncompressed lines LRU-first, then evict LRU lines.
+     * uncompressed lines -- LRU-first for *every* policy, via
+     * repl::ReplacementPolicy::compressionVictim -- then evict until
+     * space and a tag slot exist, EDBP's predicted-dead lines first
+     * and the configured policy's victim order within each deadness
+     * class (NOT plain LRU; see docs/REPLACEMENT.md).
      * @p exclude is never touched.
      */
     void makeRoom(Set &set, unsigned needed, bool may_compress,
                   const Line *exclude, Cycles now, AccessOutcome &out);
 
     /** Evict @p line from @p set (writeback if dirty). */
-    void evictLine(Set &set, Line &line, AccessOutcome &out);
+    void evictLine(Set &set, Line &line, bool dead, AccessOutcome &out);
 
     /** Apply EDBP eager writebacks to the set being accessed. */
     void decaySweep(Set &set, Cycles now, AccessOutcome &out);
@@ -299,9 +297,25 @@ class Cache
     DecayController *decay = nullptr;
     Prefetcher *pf = nullptr;
 
+    /** Tag-slot index of @p line within @p set. */
+    std::size_t slotOf(const Set &set, const Line &line) const
+    {
+        return static_cast<std::size_t>(&line - set.data());
+    }
+
+    /** Set index of @p set within the set array. */
+    unsigned indexOf(const Set &set) const
+    {
+        return static_cast<unsigned>(&set - setArray.data());
+    }
+
     std::vector<Set> setArray;
     /** Block contents for every tag slot, one fixed slice per line. */
     std::vector<std::uint8_t> arena;
+    /** Victim selection (per-set policy state lives inside). */
+    std::unique_ptr<repl::ReplacementPolicy> repl_;
+    /** Scratch candidate list reused across makeRoom calls. */
+    std::vector<repl::Candidate> candScratch;
     ShadowTags shadow;
     CacheStats stat;
     std::uint64_t useCounter = 0;

@@ -1,0 +1,52 @@
+#include "repl/classic.hh"
+
+#include "common/rng.hh"
+
+namespace kagura
+{
+namespace repl
+{
+
+std::size_t
+LruPolicy::victim(const Candidate *cands, std::size_t n,
+                  const SelectContext &)
+{
+    return deadFirstScan(cands, n,
+                         [](const Candidate &cand, std::size_t,
+                            const Candidate &best, std::size_t) {
+                             return cand.lastUse < best.lastUse;
+                         });
+}
+
+std::size_t
+FifoPolicy::victim(const Candidate *cands, std::size_t n,
+                   const SelectContext &)
+{
+    return deadFirstScan(cands, n,
+                         [](const Candidate &cand, std::size_t,
+                            const Candidate &best, std::size_t) {
+                             return cand.inserted < best.inserted;
+                         });
+}
+
+std::size_t
+RandomPolicy::victim(const Candidate *cands, std::size_t n,
+                     const SelectContext &ctx)
+{
+    // Deterministic draw: hash the access counter. The counter is
+    // constant across the evictions of one makeRoom call, so the
+    // draw is too -- exactly the pre-refactor behaviour.
+    std::uint64_t h = ctx.useCounter + 0x9e3779b97f4a7c15ULL;
+    const std::uint64_t random_pick = splitMix64(h);
+    return deadFirstScan(
+        cands, n,
+        [random_pick](const Candidate &, std::size_t index,
+                      const Candidate &, std::size_t) {
+            // Pick the candidate whose index matches the draw (modulo
+            // the number of candidates seen so far).
+            return (random_pick % (index + 1)) == index;
+        });
+}
+
+} // namespace repl
+} // namespace kagura

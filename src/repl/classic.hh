@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The pre-refactor policies -- LRU, FIFO, deterministic random --
+ * re-expressed against repl::ReplacementPolicy. Selection is
+ * bit-identical to the historical Cache::makeRoom loops (the goldens
+ * in tests/data/golden_results.txt pin this); none of them keeps
+ * per-set state beyond the line timestamps the cache already owns.
+ */
+
+#ifndef KAGURA_REPL_CLASSIC_HH
+#define KAGURA_REPL_CLASSIC_HH
+
+#include "repl/policy.hh"
+
+namespace kagura
+{
+namespace repl
+{
+
+/** Least recently used (Table I's policy). */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    using ReplacementPolicy::ReplacementPolicy;
+    ReplKind kind() const override { return ReplKind::Lru; }
+    std::size_t victim(const Candidate *cands, std::size_t n,
+                       const SelectContext &ctx) override;
+};
+
+/** Oldest insertion first; hits do not refresh. */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    using ReplacementPolicy::ReplacementPolicy;
+    ReplKind kind() const override { return ReplKind::Fifo; }
+    std::size_t victim(const Candidate *cands, std::size_t n,
+                       const SelectContext &ctx) override;
+};
+
+/**
+ * Deterministic pseudo-random: one splitMix64 draw per selection,
+ * seeded from the global access counter, applied reservoir-style over
+ * the candidate scan. Identical across runs and job counts.
+ */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    using ReplacementPolicy::ReplacementPolicy;
+    ReplKind kind() const override { return ReplKind::Random; }
+    std::size_t victim(const Candidate *cands, std::size_t n,
+                       const SelectContext &ctx) override;
+};
+
+} // namespace repl
+} // namespace kagura
+
+#endif // KAGURA_REPL_CLASSIC_HH

@@ -1,0 +1,83 @@
+#include "repl/kind.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+namespace repl
+{
+
+const char *
+replacementPolicyName(ReplKind kind)
+{
+    switch (kind) {
+      case ReplKind::Lru:
+        return "LRU";
+      case ReplKind::Fifo:
+        return "FIFO";
+      case ReplKind::Random:
+        return "random";
+      case ReplKind::Camp:
+        return "CAMP";
+      case ReplKind::Crrip:
+        return "CRRIP";
+      case ReplKind::SizeOptgen:
+        return "size-optgen";
+    }
+    panic("unknown ReplKind %d", static_cast<int>(kind));
+}
+
+namespace
+{
+
+constexpr ReplKind allKinds[] = {
+    ReplKind::Lru,  ReplKind::Fifo,  ReplKind::Random,
+    ReplKind::Camp, ReplKind::Crrip, ReplKind::SizeOptgen,
+};
+
+constexpr ReplKind onlineKinds[] = {
+    ReplKind::Lru,  ReplKind::Fifo,  ReplKind::Random,
+    ReplKind::Camp, ReplKind::Crrip,
+};
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<ReplKind>
+parseReplKind(std::string_view name)
+{
+    for (ReplKind kind : allKinds) {
+        if (iequals(name, replacementPolicyName(kind)))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+ReplKindList
+allReplKinds()
+{
+    return {allKinds, sizeof(allKinds) / sizeof(allKinds[0])};
+}
+
+ReplKindList
+onlineReplKinds()
+{
+    return {onlineKinds, sizeof(onlineKinds) / sizeof(onlineKinds[0])};
+}
+
+} // namespace repl
+} // namespace kagura

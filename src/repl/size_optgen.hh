@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Size-aware OPTgen: an offline upper bound for compressed-cache
+ * replacement, after the OPTgen liveness-interval construction
+ * (Jain & Lin, ISCA'16) extended with block sizes the way
+ * compressed_champsim's size_aware_optgen does (SNIPPETS.md
+ * snippet 1).
+ *
+ * The policy *drives* the cache as plain LRU -- so the simulated
+ * machine, its energy draw and its intermittence trajectory are
+ * exactly the LRU run -- while an offline model rides on the demand
+ * stream and answers, per access: could ANY replacement decision have
+ * kept this block resident since its previous use?
+ *
+ * Per set, time is quantised to one quantum per demand access. A ring
+ * buffer holds the occupancy of the most recent quanta: bytes of data
+ * space and tag slots a hypothetical optimal schedule has committed.
+ * A reuse with liveness interval [q0, now) is attainable iff every
+ * quantum in the interval still has room for the block's compressed
+ * footprint AND a free tag; if so the interval is charged and the
+ * access counts as a model hit. Accesses that actually hit in the
+ * driving run always count (the model can never do worse than the
+ * policy it rides on), and intervals that fall off the ring -- or
+ * span a power failure, which invalidates the whole cache -- count as
+ * misses.
+ *
+ * The tallies surface through upperBound() and land in
+ * SimResult::replOptAccesses/Hits; the attainable hit *rate* is what
+ * bench/abl_size_repl.cc compares every online policy against.
+ */
+
+#ifndef KAGURA_REPL_SIZE_OPTGEN_HH
+#define KAGURA_REPL_SIZE_OPTGEN_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "repl/classic.hh"
+
+namespace kagura
+{
+namespace repl
+{
+
+/**
+ * Ring buffer of per-quantum occupancy, oldest entries evicted as
+ * new quanta are pushed. Quanta numbers are global (monotonic);
+ * the buffer remembers which quanta are still in bounds.
+ */
+class OptgenRingBuffer
+{
+  public:
+    struct Quantum
+    {
+        std::uint32_t bytes = 0;
+        std::uint32_t tags = 0;
+    };
+
+    explicit OptgenRingBuffer(std::size_t capacity)
+        : ring(capacity)
+    {
+    }
+
+    /** Open a new (empty) quantum, retiring the oldest if full. */
+    void
+    push()
+    {
+        if (count == ring.size()) {
+            ring[head] = Quantum{};
+            head = (head + 1) % ring.size();
+            ++headQuanta;
+        } else {
+            ++count;
+        }
+    }
+
+    /** Quanta currently representable: [headQuanta, headQuanta+size). */
+    std::uint64_t firstQuanta() const { return headQuanta; }
+    std::uint64_t endQuanta() const { return headQuanta + count; }
+
+    bool
+    inBounds(std::uint64_t quanta) const
+    {
+        return quanta >= headQuanta && quanta < endQuanta();
+    }
+
+    Quantum &
+    at(std::uint64_t quanta)
+    {
+        return ring[(head + (quanta - headQuanta)) % ring.size()];
+    }
+
+    const Quantum &
+    at(std::uint64_t quanta) const
+    {
+        return ring[(head + (quanta - headQuanta)) % ring.size()];
+    }
+
+  private:
+    std::vector<Quantum> ring;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    std::uint64_t headQuanta = 0;
+};
+
+/** LRU-driving policy with the size-aware OPTgen model riding along. */
+class SizeOptgenPolicy : public LruPolicy
+{
+  public:
+    explicit SizeOptgenPolicy(const PolicyGeometry &geometry);
+    ReplKind kind() const override { return ReplKind::SizeOptgen; }
+
+    void noteAccess(unsigned set, Addr base, bool hit,
+                    unsigned occupied) override;
+    void noteCacheCleared() override;
+    void recordMetrics(metrics::MetricSet &mset,
+                       std::string_view prefix) const override;
+    const UpperBoundStats *upperBound() const override;
+
+    /**
+     * Can the liveness interval [@p start, @p end) accommodate a
+     * block of @p footprint bytes? (Exposed for the unit tests'
+     * hand-computed intervals.)
+     */
+    bool canCache(unsigned set, std::uint64_t start, std::uint64_t end,
+                  unsigned footprint) const;
+
+    /** canCache, and charge the interval when it is attainable. */
+    bool tryCache(unsigned set, std::uint64_t start, std::uint64_t end,
+                  unsigned footprint);
+
+    /** The current quanta clock of @p set (== demand accesses seen). */
+    std::uint64_t quantaOf(unsigned set) const;
+
+    /** Quanta the per-set ring can look back over. */
+    static constexpr std::size_t ringQuanta = 256;
+
+  private:
+    struct Liveness
+    {
+        std::uint64_t quanta = 0;
+        std::uint32_t footprint = 0;
+    };
+
+    struct SetModel
+    {
+        explicit SetModel(std::size_t capacity)
+            : ring(capacity)
+        {
+        }
+        OptgenRingBuffer ring;
+        /** Previous access (quanta + compressed footprint) per block. */
+        std::unordered_map<Addr, Liveness> lastUse;
+        std::uint64_t clock = 0;
+    };
+
+    std::vector<SetModel> sets;
+    UpperBoundStats stats;
+    /** Model hits granted only because the driving run actually hit. */
+    std::uint64_t ridingHits = 0;
+    /** Reuses whose interval fell off the ring (counted as misses). */
+    std::uint64_t staleIntervals = 0;
+};
+
+} // namespace repl
+} // namespace kagura
+
+#endif // KAGURA_REPL_SIZE_OPTGEN_HH

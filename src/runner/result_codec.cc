@@ -213,6 +213,15 @@ encodeResult(const SimResult &r)
         putU32(out, e.beneficial);
         putU32(out, e.useless);
     }
+
+    // Trailing optional section: the size-aware OPTgen upper bound.
+    // Emitted only when the run produced one, so every pre-existing
+    // configuration (online policies) still encodes to the exact
+    // byte stream the committed goldens fingerprint.
+    if (r.replOptAccesses) {
+        putU64(out, r.replOptAccesses);
+        putU64(out, r.replOptHits);
+    }
     return out;
 }
 
@@ -272,6 +281,14 @@ decodeResult(std::string_view bytes, SimResult &out)
         if (!in.ok)
             return false;
         r.oracle.addTally(addr, beneficial, useless);
+    }
+
+    // Optional OPTgen upper-bound section (present iff bytes remain).
+    if (in.ok && in.pos != bytes.size()) {
+        r.replOptAccesses = in.u64();
+        r.replOptHits = in.u64();
+        if (r.replOptAccesses == 0)
+            return false;
     }
 
     // A well-formed payload is consumed exactly.

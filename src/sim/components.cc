@@ -28,6 +28,11 @@ TelemetryComponent::recordMetrics(metrics::MetricSet &set)
         .set(result.instructionsPerCycle());
     if (result.oracleVetoes)
         set.counter("sim/oracle_vetoes").add(result.oracleVetoes);
+    if (result.replOptAccesses) {
+        set.counter("sim/repl_opt_accesses").add(result.replOptAccesses);
+        set.counter("sim/repl_opt_hits").add(result.replOptHits);
+        set.gauge("sim/repl_opt_hit_rate").set(result.replOptHitRate());
+    }
 
     // Perf trajectory: how committed work distributes over the power
     // cycles the run survived (Fig. 12-style shape, bucketed).

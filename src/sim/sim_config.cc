@@ -33,6 +33,16 @@ SimConfig::describe() const
         out += " +EDBP";
     if (enablePrefetch)
         out += " +IPEX";
+    // LRU is Table I's fixed policy; only deviations earn a label.
+    if (icache.replacement != ReplKind::Lru ||
+        dcache.replacement != ReplKind::Lru) {
+        out += " / repl=";
+        out += replacementPolicyName(dcache.replacement);
+        if (icache.replacement != dcache.replacement) {
+            out += "/i=";
+            out += replacementPolicyName(icache.replacement);
+        }
+    }
     return out;
 }
 

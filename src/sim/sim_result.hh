@@ -67,6 +67,24 @@ struct SimResult
     KaguraStats kagura;
     std::uint64_t oracleVetoes = 0;
 
+    /**
+     * Size-aware OPTgen upper bound (ReplKind::SizeOptgen only),
+     * summed over both caches: demand accesses the offline model saw
+     * and the hits an optimal replacement schedule could have
+     * attained. Zero for online policies.
+     */
+    std::uint64_t replOptAccesses = 0;
+    std::uint64_t replOptHits = 0;
+
+    /** Attainable hit rate of the offline replacement bound. */
+    double
+    replOptHitRate() const
+    {
+        return replOptAccesses ? static_cast<double>(replOptHits) /
+                                     static_cast<double>(replOptAccesses)
+                               : 0.0;
+    }
+
     /** Phase-1 oracle log (OracleMode::Record only). */
     OracleLog oracle;
 

@@ -203,6 +203,16 @@ Simulator::run()
     result.wallCycles = meter->wall();
     result.icache = iCache->stats();
     result.dcache = dCache->stats();
+    if (const repl::UpperBoundStats *bound =
+            iCache->replPolicy().upperBound()) {
+        result.replOptAccesses += bound->accesses;
+        result.replOptHits += bound->hits;
+    }
+    if (const repl::UpperBoundStats *bound =
+            dCache->replPolicy().upperBound()) {
+        result.replOptAccesses += bound->accesses;
+        result.replOptHits += bound->hits;
+    }
     if (kaguraCtl)
         result.kagura = kaguraCtl->stats();
     if (ichain.replayer)
@@ -213,6 +223,12 @@ Simulator::run()
         result.oracle = ichain.recorder->log();
         result.oracle.merge(dchain.recorder->log());
     }
+
+    // Replacement telemetry lives in the policy objects (per-policy
+    // eviction/size histograms), not in CacheStats, so it is exported
+    // here rather than through the TelemetryComponent.
+    iCache->replPolicy().recordMetrics(*mset, "sim/icache/repl");
+    dCache->replPolicy().recordMetrics(*mset, "sim/dcache/repl");
 
     bus.recordMetrics(*mset);
     mset->timer("sim/run_seconds")

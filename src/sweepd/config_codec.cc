@@ -504,12 +504,15 @@ parseTraceKind(std::string_view name)
     return invertName(name, values, traceKindName);
 }
 
-std::optional<ReplacementPolicy>
+std::optional<ReplKind>
 parseReplacementPolicy(std::string_view name)
 {
-    static constexpr ReplacementPolicy values[] = {
-        ReplacementPolicy::Lru, ReplacementPolicy::Fifo,
-        ReplacementPolicy::Random};
+    // Every registered src/repl policy, including the size-aware ones
+    // added after the seed; an unknown spelling stays nullopt so the
+    // caller reports a typed Malformed BadJob, never a fallback.
+    static constexpr ReplKind values[] = {
+        ReplKind::Lru,  ReplKind::Fifo,  ReplKind::Random,
+        ReplKind::Camp, ReplKind::Crrip, ReplKind::SizeOptgen};
     return invertName(name, values, replacementPolicyName);
 }
 

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -388,7 +389,7 @@ TEST_F(SweepdTests, HeavilyNonDefaultConfigRoundTrips)
     config.trace = TraceKind::Thermal;
     config.traceSeed = 77;
     config.traceScale = 1.75;
-    config.dcache.replacement = ReplacementPolicy::Fifo;
+    config.dcache.replacement = ReplKind::Fifo;
     config.dcache.ways = 4;
     config.icache.sizeBytes = 512;
     config.kagura.scheme = AdaptScheme::Mimd;
@@ -416,6 +417,38 @@ TEST_F(SweepdTests, HeavilyNonDefaultConfigRoundTrips)
     EXPECT_EQ(parsed.oracle, OracleMode::Record);
 }
 
+TEST_F(SweepdTests, EveryReplacementPolicyRoundTripsThroughCodec)
+{
+    // The round-trip law must cover every registered src/repl policy,
+    // including the size-aware ones added after the seed.
+    for (ReplKind kind : repl::allReplKinds()) {
+        SimConfig config = baselineConfig("crc32");
+        config.icache.replacement = kind;
+        config.dcache.replacement = kind;
+        const std::string key = config.canonicalKey();
+        SimConfig parsed;
+        std::string error;
+        ASSERT_EQ(sweepd::parseCanonicalKey(key, parsed, error),
+                  sweepd::ParseStatus::Ok)
+            << replacementPolicyName(kind) << ": " << error;
+        EXPECT_EQ(parsed.canonicalKey(), key)
+            << replacementPolicyName(kind);
+        EXPECT_EQ(parsed.icache.replacement, kind);
+        EXPECT_EQ(parsed.dcache.replacement, kind);
+    }
+}
+
+TEST_F(SweepdTests, DistinctPoliciesProduceDistinctCanonicalKeys)
+{
+    std::set<std::string> keys;
+    for (ReplKind kind : repl::allReplKinds()) {
+        SimConfig config = baselineConfig("crc32");
+        config.dcache.replacement = kind;
+        keys.insert(config.canonicalKey());
+    }
+    EXPECT_EQ(keys.size(), repl::allReplKinds().count);
+}
+
 TEST_F(SweepdTests, ConfigCodecRejectsMalformedKeys)
 {
     SimConfig parsed;
@@ -430,6 +463,13 @@ TEST_F(SweepdTests, ConfigCodecRejectsMalformedKeys)
     // Bad enum value.
     EXPECT_EQ(sweepd::parseCanonicalKey(
                   "workload=crc32\ncompressor=gzip\n", parsed, error),
+              sweepd::ParseStatus::Malformed);
+
+    // Unknown replacement policy: a typed Malformed (daemon answers
+    // ErrorCode::BadJob), never a silent fallback to LRU.
+    EXPECT_EQ(sweepd::parseCanonicalKey(
+                  "workload=crc32\ndcache.replacement=MRU\n", parsed,
+                  error),
               sweepd::ParseStatus::Malformed);
 
     // Missing trailing newline.
