@@ -89,18 +89,26 @@ Cache::Cache(const CacheConfig &config, Nvm &nvm,
     geom.segmentBytes = cfg.segmentBytes;
     repl_ = repl::makePolicy(cfg.replacement, geom);
     candScratch.reserve(slots_per_set);
+
+    tags::TagGeometry tgeom;
+    tgeom.sets = cfg.sets();
+    tgeom.ways = cfg.ways;
+    tgeom.slotsPerSet = static_cast<unsigned>(slots_per_set);
+    tgeom.blockSize = cfg.blockSize;
+    tgeom.segmentBytes = cfg.segmentBytes;
+    tagLayout_ = tags::makeTagLayout(cfg.tagLayout, tgeom);
 }
 
 unsigned
 Cache::setIndex(Addr addr) const
 {
-    return static_cast<unsigned>((addr / cfg.blockSize) % cfg.sets());
+    return tagLayout_->setIndex(addr / cfg.blockSize);
 }
 
 std::uint64_t
 Cache::tagOf(Addr addr) const
 {
-    return (addr / cfg.blockSize) / cfg.sets();
+    return tagLayout_->tagOf(addr / cfg.blockSize);
 }
 
 Addr
@@ -110,21 +118,22 @@ Cache::blockBase(Addr addr) const
 }
 
 Cache::Line *
-Cache::findLine(Addr addr)
+Cache::findLine(Addr addr, unsigned *rechecks)
 {
-    Set &set = setArray[setIndex(addr)];
+    const unsigned set_idx = setIndex(addr);
     const std::uint64_t tag = tagOf(addr);
-    for (Line &line : set) {
-        if (line.valid && line.tag == tag)
-            return &line;
-    }
-    return nullptr;
+    const std::size_t slot = tagLayout_->lookup(set_idx, tag, rechecks);
+    if (slot == tags::noSlot)
+        return nullptr;
+    Line &line = setArray[set_idx][slot];
+    kagura_assert(line.valid && line.tag == tag);
+    return &line;
 }
 
 const Cache::Line *
 Cache::findLine(Addr addr) const
 {
-    return const_cast<Cache *>(this)->findLine(addr);
+    return const_cast<Cache *>(this)->findLine(addr, nullptr);
 }
 
 unsigned
@@ -194,6 +203,7 @@ Cache::evictLine(Set &set, Line &line, bool dead, AccessOutcome &out)
     line.occupied = 0;
     ++out.evictions;
     ++stat.evictions;
+    tagLayout_->noteEviction(indexOf(set), slotOf(set, line));
     repl_->noteEviction(indexOf(set), slotOf(set, line), occupied,
                         was_dirty, dead);
     if (gov)
@@ -202,20 +212,18 @@ Cache::evictLine(Set &set, Line &line, bool dead, AccessOutcome &out)
 
 void
 Cache::makeRoom(Set &set, unsigned needed, bool may_compress,
-                const Line *exclude, Cycles now, AccessOutcome &out)
+                const Line *exclude, std::uint64_t incoming_tag,
+                Cycles now, AccessOutcome &out)
 {
     const unsigned capacity = cfg.ways * cfg.blockSize;
-    const std::size_t max_tags = 2 * cfg.ways;
     kagura_assert(needed <= capacity);
 
     auto free_bytes = [&]() { return capacity - setOccupancy(set); };
+    // The tag-array side of admission is the layout's call: baseline
+    // wants any invalid slot (the historical free-tag rule), grouped
+    // layouts admit a sibling of a resident superblock for free.
     auto free_tag = [&]() {
-        std::size_t valid = 0;
-        for (const Line &line : set) {
-            if (line.valid)
-                ++valid;
-        }
-        return valid < max_tags;
+        return tagLayout_->canAdmit(indexOf(set), incoming_tag);
     };
 
     repl::SelectContext ctx;
@@ -231,6 +239,9 @@ Cache::makeRoom(Set &set, unsigned needed, bool may_compress,
         cand.occupied = line.occupied;
         cand.compressed = line.compressed;
         cand.dirty = line.dirty;
+        cand.coResident =
+            tagLayout_->coResidents(indexOf(owning), cand.slot);
+        cand.tagGroup = tagLayout_->groupOf(indexOf(owning), cand.slot);
         return cand;
     };
 
@@ -274,6 +285,8 @@ Cache::makeRoom(Set &set, unsigned needed, bool may_compress,
             gov->noteCompression(victim->base);
         victim->compressed = true;
         victim->occupied = footprint;
+        tagLayout_->noteResize(ctx.setIndex, candScratch[pick].slot,
+                               footprint);
     }
 
     // Then evict lines until both space and a tag slot exist. The
@@ -358,25 +371,23 @@ Cache::fillLine(Addr addr, Cycles now, AccessOutcome &out)
         }
     }
 
-    makeRoom(set, footprint, place, nullptr, now, out);
+    const std::uint64_t tag = tagOf(addr);
+    makeRoom(set, footprint, place, nullptr, tag, now, out);
 
-    // Take the first invalid tag slot (makeRoom guarantees one; every
-    // slot exists up front, so this matches the historical "reuse or
-    // append" order exactly).
-    Line *slot = nullptr;
-    for (Line &line : set) {
-        if (!line.valid) {
-            slot = &line;
-            break;
-        }
-    }
-    kagura_assert(slot != nullptr);
+    // The layout records the fill and picks the line slot (baseline:
+    // the first invalid slot -- the historical "reuse or append"
+    // order exactly; makeRoom guarantees one exists).
+    const std::size_t slot_idx =
+        tagLayout_->allocate(setIndex(addr), tag, footprint);
+    kagura_assert(slot_idx < set.size());
+    Line *slot = &set[slot_idx];
+    kagura_assert(!slot->valid);
 
     slot->valid = true;
     slot->dirty = false;
     slot->compressed = compressed;
     slot->incompressible = engage && !compressed && place;
-    slot->tag = tagOf(addr);
+    slot->tag = tag;
     slot->base = base;
     slot->occupied = footprint;
     slot->lastUse = ++useCounter;
@@ -402,7 +413,13 @@ Cache::access(Addr addr, bool is_write, std::uint8_t *data, unsigned size,
     Set &set = setArray[setIndex(addr)];
     decaySweep(set, now, out);
 
-    Line *line = findLine(addr);
+    unsigned rechecks = 0;
+    Line *line = findLine(addr, &rechecks);
+    // Signature layouts serialize a full-width comparison behind each
+    // signature match (true hit or false positive alike); charge one
+    // cycle per re-check on the demand path. Zero for exact-match
+    // layouts, so baseline latency is untouched.
+    out.latency += rechecks;
     if (line) {
         out.hit = true;
         ++stat.hits;
@@ -500,12 +517,12 @@ Cache::access(Addr addr, bool is_write, std::uint8_t *data, unsigned size,
                     if (cfg.blockSize > line->occupied)
                         makeRoom(set, cfg.blockSize - line->occupied,
                                  gov && gov->shouldCompress(line->base),
-                                 line, now, out);
+                                 line, line->tag, now, out);
                     line->occupied = cfg.blockSize;
                 } else if (footprint > line->occupied) {
                     makeRoom(set, footprint - line->occupied,
                              gov && gov->shouldCompress(line->base), line,
-                             now, out);
+                             line->tag, now, out);
                     line->occupied = footprint;
                 } else {
                     line->occupied = footprint;
@@ -517,6 +534,8 @@ Cache::access(Addr addr, bool is_write, std::uint8_t *data, unsigned size,
     }
 
     if (line->occupied != occupiedBeforeWrite) {
+        tagLayout_->noteResize(setIndex(addr), slotOf(set, *line),
+                               line->occupied);
         repl_->noteResize(setIndex(addr), slotOf(set, *line),
                           line->occupied);
     }
@@ -554,36 +573,28 @@ Cache::prefetchFill(Addr addr, Cycles now)
 }
 
 FlushOutcome
-Cache::flushAndInvalidate()
+Cache::writebackAllDirty()
 {
     FlushOutcome flush;
     AccessOutcome scratch;
     for (Set &set : setArray) {
         for (Line &line : set) {
-            if (!line.valid)
+            if (!line.valid || !line.dirty)
                 continue;
-            if (line.dirty) {
-                ++flush.dirtyBlocks;
-                if (line.compressed) {
-                    ++flush.decompressions;
-                    ++stat.decompressions;
-                }
-                writeback(line, scratch);
-                ++flush.nvmBlockWrites;
+            ++flush.dirtyBlocks;
+            if (line.compressed) {
+                ++flush.decompressions;
+                ++stat.decompressions;
             }
-            line.valid = false;
-            line.occupied = 0;
+            writeback(line, scratch);
+            ++flush.nvmBlockWrites;
         }
     }
-    shadow.invalidateAll();
-    repl_->noteCacheCleared();
-    if (gov)
-        gov->noteCacheCleared();
     return flush;
 }
 
 void
-Cache::invalidateAll()
+Cache::resetAllLines(tags::ResetCause cause)
 {
     for (Set &set : setArray) {
         for (Line &line : set) {
@@ -592,30 +603,34 @@ Cache::invalidateAll()
         }
     }
     shadow.invalidateAll();
+    tagLayout_->reset(cause);
     repl_->noteCacheCleared();
     if (gov)
         gov->noteCacheCleared();
 }
 
 FlushOutcome
+Cache::flushAndInvalidate()
+{
+    // Writebacks first (set order, so NVM traffic matches the
+    // historical interleaved loop exactly), then the one shared
+    // reset: metadata made it out with the data, hence Flush.
+    FlushOutcome flush = writebackAllDirty();
+    resetAllLines(tags::ResetCause::Flush);
+    return flush;
+}
+
+void
+Cache::invalidateAll()
+{
+    // No writeback: line state and tag metadata die with the power.
+    resetAllLines(tags::ResetCause::PowerLoss);
+}
+
+FlushOutcome
 Cache::cleanAll()
 {
-    FlushOutcome flush;
-    AccessOutcome scratch;
-    for (Set &set : setArray) {
-        for (Line &line : set) {
-            if (line.valid && line.dirty) {
-                ++flush.dirtyBlocks;
-                if (line.compressed) {
-                    ++flush.decompressions;
-                    ++stat.decompressions;
-                }
-                writeback(line, scratch);
-                ++flush.nvmBlockWrites;
-            }
-        }
-    }
-    return flush;
+    return writebackAllDirty();
 }
 
 bool

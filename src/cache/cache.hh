@@ -41,6 +41,7 @@
 #include "mem/nvm.hh"
 #include "metrics/fwd.hh"
 #include "repl/policy.hh"
+#include "tags/layout.hh"
 
 namespace kagura
 {
@@ -55,6 +56,8 @@ struct CacheConfig
     unsigned segmentBytes = 8;
     /** Victim selection policy (src/repl). */
     ReplKind replacement = ReplKind::Lru;
+    /** Tag organization (src/tags). */
+    TagLayoutKind tagLayout = TagLayoutKind::Baseline;
 
     /** Number of sets implied by the geometry. */
     unsigned
@@ -207,6 +210,15 @@ class Cache
     /** The victim-selection policy driving this cache. */
     const repl::ReplacementPolicy &replPolicy() const { return *repl_; }
 
+    /** The tag layout organising this cache's tag array. */
+    const tags::TagLayout &tagLayout() const { return *tagLayout_; }
+
+    /** The tag layout's telemetry so far. */
+    const tags::TagLayoutStats &tagStats() const
+    {
+        return tagLayout_->stats();
+    }
+
     /** The geometry this cache was built with. */
     const CacheConfig &config() const { return cfg; }
 
@@ -239,8 +251,13 @@ class Cache
     std::uint64_t tagOf(Addr addr) const;
     Addr blockBase(Addr addr) const;
 
-    /** Find the resident line for @p addr, or nullptr. */
-    Line *findLine(Addr addr);
+    /**
+     * Find the resident line for @p addr, or nullptr. The probe goes
+     * through the tag layout; layouts with an imprecise first-level
+     * match report extra full-tag probes through @p rechecks (the
+     * demand path charges them as latency).
+     */
+    Line *findLine(Addr addr, unsigned *rechecks = nullptr);
     const Line *findLine(Addr addr) const;
 
     /** Bytes of data space used in @p set. */
@@ -273,10 +290,13 @@ class Cache
      * space and a tag slot exist, EDBP's predicted-dead lines first
      * and the configured policy's victim order within each deadness
      * class (NOT plain LRU; see docs/REPLACEMENT.md).
-     * @p exclude is never touched.
+     * @p exclude is never touched. @p incoming_tag is the tag the
+     * room is being made for (grouped layouts admit a sibling of a
+     * resident superblock without spending a tag entry).
      */
     void makeRoom(Set &set, unsigned needed, bool may_compress,
-                  const Line *exclude, Cycles now, AccessOutcome &out);
+                  const Line *exclude, std::uint64_t incoming_tag,
+                  Cycles now, AccessOutcome &out);
 
     /** Evict @p line from @p set (writeback if dirty). */
     void evictLine(Set &set, Line &line, bool dead, AccessOutcome &out);
@@ -289,6 +309,17 @@ class Cache
 
     /** Write @p line's contents back to NVM. */
     void writeback(Line &line, AccessOutcome &out);
+
+    /** Write back every valid dirty line (flush/clean paths). */
+    FlushOutcome writebackAllDirty();
+
+    /**
+     * The one whole-cache reset hook: invalidate every line and reset
+     * all per-set auxiliary state (shadow tags, tag layout,
+     * replacement policy, governor) in a fixed order. @p cause is the
+     * tag layout's flushed-vs-lost metadata accounting.
+     */
+    void resetAllLines(tags::ResetCause cause);
 
     CacheConfig cfg;
     Nvm &mem;
@@ -314,6 +345,8 @@ class Cache
     std::vector<std::uint8_t> arena;
     /** Victim selection (per-set policy state lives inside). */
     std::unique_ptr<repl::ReplacementPolicy> repl_;
+    /** Tag organization (per-set tag state lives inside). */
+    std::unique_ptr<tags::TagLayout> tagLayout_;
     /** Scratch candidate list reused across makeRoom calls. */
     std::vector<repl::Candidate> candScratch;
     ShadowTags shadow;

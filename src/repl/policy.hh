@@ -65,6 +65,18 @@ struct Candidate
     bool dirty = false;
     /** EDBP predicts this line dead (preferred victim). */
     bool dead = false;
+    /**
+     * Resident blocks sharing this line's tag entry, itself included
+     * (src/tags superblock co-residency; 1 for ungrouped layouts).
+     * Evicting the last co-resident frees the shared tag entry.
+     */
+    unsigned coResident = 1;
+    /**
+     * In-set id of the tag entry covering this line. Candidates with
+     * equal tagGroup share one tag entry, so a policy can prefer
+     * draining one superblock over spreading evictions.
+     */
+    std::uint64_t tagGroup = 0;
 };
 
 /** Context one selection happens under. */

@@ -131,6 +131,30 @@ struct Reader
     }
 };
 
+/**
+ * Id of the tag-stats extension section. Extension sections trail the
+ * untagged OPTgen section behind a u64 0 marker: the OPTgen section's
+ * first word (replOptAccesses) is nonzero by construction, so a zero
+ * word in its position unambiguously announces "tagged section next".
+ */
+constexpr std::uint32_t tagStatsSection = 1;
+
+void
+putTagStats(std::string &out, const tags::TagLayoutStats &s)
+{
+    putU64(out, s.tagCompactions);
+    putU64(out, s.sbAllocations);
+    for (unsigned i = 0; i < tags::blocksPerSuperblock; ++i)
+        putU64(out, s.sbFillDegree[i]);
+    putU64(out, s.sigRechecks);
+    putU64(out, s.sigFalsePositives);
+    putU64(out, s.metadataFlushes);
+    putU64(out, s.metadataLosses);
+    putU64(out, s.occupancySamples);
+    putU64(out, s.tagsLiveSum);
+    putU64(out, s.residentBlockSum);
+}
+
 void
 readCacheStats(Reader &in, CacheStats &s)
 {
@@ -147,6 +171,22 @@ readCacheStats(Reader &in, CacheStats &s)
     s.wastedDecompressions = in.u64();
     s.prefetchFills = in.u64();
     s.decayWritebacks = in.u64();
+}
+
+void
+readTagStats(Reader &in, tags::TagLayoutStats &s)
+{
+    s.tagCompactions = in.u64();
+    s.sbAllocations = in.u64();
+    for (unsigned i = 0; i < tags::blocksPerSuperblock; ++i)
+        s.sbFillDegree[i] = in.u64();
+    s.sigRechecks = in.u64();
+    s.sigFalsePositives = in.u64();
+    s.metadataFlushes = in.u64();
+    s.metadataLosses = in.u64();
+    s.occupancySamples = in.u64();
+    s.tagsLiveSum = in.u64();
+    s.residentBlockSum = in.u64();
 }
 
 } // namespace
@@ -222,6 +262,18 @@ encodeResult(const SimResult &r)
         putU64(out, r.replOptAccesses);
         putU64(out, r.replOptHits);
     }
+
+    // Tagged extension section: tag-layout telemetry. A leading u64 0
+    // cannot be the start of the OPTgen section (its first word is
+    // nonzero), so it marks "section id follows". Emitted only when a
+    // non-baseline layout produced counters, preserving every
+    // pre-subsystem byte stream.
+    if (r.icacheTags.any() || r.dcacheTags.any()) {
+        putU64(out, 0);
+        putU32(out, tagStatsSection);
+        putTagStats(out, r.icacheTags);
+        putTagStats(out, r.dcacheTags);
+    }
     return out;
 }
 
@@ -283,13 +335,32 @@ decodeResult(std::string_view bytes, SimResult &out)
         r.oracle.addTally(addr, beneficial, useless);
     }
 
-    // Optional OPTgen upper-bound section (present iff bytes remain).
+    // Optional trailing sections. The first remaining word
+    // disambiguates: nonzero is the untagged OPTgen upper bound
+    // (replOptAccesses != 0 by construction), zero is the marker for
+    // a tagged extension section. A tagged section may follow the
+    // OPTgen section.
+    bool sawExtension = false;
     if (in.ok && in.pos != bytes.size()) {
-        r.replOptAccesses = in.u64();
-        r.replOptHits = in.u64();
-        if (r.replOptAccesses == 0)
-            return false;
+        std::uint64_t first = in.u64();
+        if (first != 0) {
+            r.replOptAccesses = first;
+            r.replOptHits = in.u64();
+            if (in.ok && in.pos != bytes.size())
+                first = in.u64();
+        }
+        if (in.ok && first == 0) {
+            sawExtension = true;
+            if (in.u32() != tagStatsSection)
+                return false;
+            readTagStats(in, r.icacheTags);
+            readTagStats(in, r.dcacheTags);
+        }
     }
+    // Canonical form: the tag-stats section exists iff it has content
+    // (mirrors the encoder, so decode(encode(r)) is byte-exact).
+    if (sawExtension && !r.icacheTags.any() && !r.dcacheTags.any())
+        return false;
 
     // A well-formed payload is consumed exactly.
     if (!in.ok || in.pos != bytes.size())

@@ -43,6 +43,16 @@ SimConfig::describe() const
             out += replacementPolicyName(icache.replacement);
         }
     }
+    // Likewise for the tag layout: baseline is the paper's scheme.
+    if (icache.tagLayout != TagLayoutKind::Baseline ||
+        dcache.tagLayout != TagLayoutKind::Baseline) {
+        out += " / tags=";
+        out += tagLayoutName(dcache.tagLayout);
+        if (icache.tagLayout != dcache.tagLayout) {
+            out += "/i=";
+            out += tagLayoutName(icache.tagLayout);
+        }
+    }
     return out;
 }
 
@@ -75,6 +85,14 @@ appendCacheConfig(std::string &out, const char *name,
     keyf(out, "%s.segment_bytes=%u", name, cache.segmentBytes);
     keyf(out, "%s.replacement=%s", name,
          replacementPolicyName(cache.replacement));
+    // Conditional emission, like the optional trace lines: the
+    // baseline layout predates this key, so emitting it would
+    // invalidate every cached result (and the committed fixture) for
+    // configurations whose behavior did not change.
+    if (cache.tagLayout != TagLayoutKind::Baseline) {
+        keyf(out, "%s.tag_layout=%s", name,
+             tagLayoutName(cache.tagLayout));
+    }
 }
 
 } // namespace

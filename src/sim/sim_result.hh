@@ -76,6 +76,15 @@ struct SimResult
     std::uint64_t replOptAccesses = 0;
     std::uint64_t replOptHits = 0;
 
+    /**
+     * Tag-layout telemetry (src/tags). All-zero for the baseline
+     * layout, whose counters live in CacheStats already; the runner
+     * codec only encodes these when any counter is nonzero, keeping
+     * pre-subsystem encodings byte-identical.
+     */
+    tags::TagLayoutStats icacheTags;
+    tags::TagLayoutStats dcacheTags;
+
     /** Attainable hit rate of the offline replacement bound. */
     double
     replOptHitRate() const

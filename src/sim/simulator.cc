@@ -203,6 +203,8 @@ Simulator::run()
     result.wallCycles = meter->wall();
     result.icache = iCache->stats();
     result.dcache = dCache->stats();
+    result.icacheTags = iCache->tagStats();
+    result.dcacheTags = dCache->tagStats();
     if (const repl::UpperBoundStats *bound =
             iCache->replPolicy().upperBound()) {
         result.replOptAccesses += bound->accesses;
@@ -229,6 +231,11 @@ Simulator::run()
     // here rather than through the TelemetryComponent.
     iCache->replPolicy().recordMetrics(*mset, "sim/icache/repl");
     dCache->replPolicy().recordMetrics(*mset, "sim/dcache/repl");
+
+    // Same story for tag-layout telemetry (a no-op for the baseline
+    // layout, which keeps its counters at zero by contract).
+    iCache->tagLayout().recordMetrics(*mset, "sim/icache/tags");
+    dCache->tagLayout().recordMetrics(*mset, "sim/dcache/tags");
 
     bus.recordMetrics(*mset);
     mset->timer("sim/run_seconds")

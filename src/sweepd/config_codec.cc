@@ -142,6 +142,19 @@ lineHandlers()
                     (cfg.*cache).replacement = *policy;
                     return true;
                 });
+            // Only non-baseline keys carry this line (conditional
+            // emission), but the parser accepts all three spellings
+            // -- a submitted "tag_layout=baseline" fails the
+            // round-trip law instead, keeping one canonical key per
+            // configuration.
+            add((base + ".tag_layout").c_str(),
+                [cache](SimConfig &cfg, std::string_view v) {
+                    const auto layout = parseTagLayout(v);
+                    if (!layout)
+                        return false;
+                    (cfg.*cache).tagLayout = *layout;
+                    return true;
+                });
         };
         addCache("icache", &SimConfig::icache);
         addCache("dcache", &SimConfig::dcache);
@@ -514,6 +527,14 @@ parseReplacementPolicy(std::string_view name)
         ReplKind::Lru,  ReplKind::Fifo,  ReplKind::Random,
         ReplKind::Camp, ReplKind::Crrip, ReplKind::SizeOptgen};
     return invertName(name, values, replacementPolicyName);
+}
+
+std::optional<TagLayoutKind>
+parseTagLayout(std::string_view name)
+{
+    // Delegates to the tags subsystem's own inverse so the accepted
+    // spellings cannot drift from tagLayoutName().
+    return tags::parseTagLayoutKind(name);
 }
 
 std::optional<AdaptScheme>

@@ -68,6 +68,7 @@ std::optional<EhsKind> parseEhsKind(std::string_view name);
 std::optional<NvmType> parseNvmType(std::string_view name);
 std::optional<TraceKind> parseTraceKind(std::string_view name);
 std::optional<ReplKind> parseReplacementPolicy(std::string_view name);
+std::optional<TagLayoutKind> parseTagLayout(std::string_view name);
 std::optional<AdaptScheme> parseAdaptScheme(std::string_view name);
 std::optional<TriggerKind> parseTriggerKind(std::string_view name);
 

@@ -1,0 +1,126 @@
+#include "tags/baseline.hh"
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+namespace tags
+{
+
+BaselineTags::BaselineTags(const TagGeometry &geometry)
+    : TagLayout(geometry, 0),
+      entries(static_cast<std::size_t>(geometry.sets) *
+              geometry.slotsPerSet),
+      liveCnt(geometry.sets, 0)
+{
+}
+
+std::size_t
+BaselineTags::lookup(unsigned set, std::uint64_t tag,
+                     unsigned *rechecks) const
+{
+    (void)rechecks; // full tags: first-level match is exact
+    for (std::size_t slot = 0; slot < geom.slotsPerSet; ++slot) {
+        const Entry &entry = entries[at(set, slot)];
+        if (entry.valid && entry.tag == tag)
+            return slot;
+    }
+    return noSlot;
+}
+
+bool
+BaselineTags::canAdmit(unsigned set, std::uint64_t tag) const
+{
+    (void)tag; // every tag costs one slot; identity is irrelevant
+    return liveCnt[set] < geom.slotsPerSet;
+}
+
+std::size_t
+BaselineTags::allocate(unsigned set, std::uint64_t tag,
+                       unsigned occupied)
+{
+    (void)occupied; // data-arena bookkeeping stays with the Cache
+    for (std::size_t slot = 0; slot < geom.slotsPerSet; ++slot) {
+        Entry &entry = entries[at(set, slot)];
+        if (entry.valid)
+            continue;
+        entry.valid = true;
+        entry.tag = tag;
+        ++liveCnt[set];
+        return slot;
+    }
+    panic("BaselineTags::allocate: set %u has no free slot", set);
+}
+
+void
+BaselineTags::noteResize(unsigned set, std::size_t slot,
+                         unsigned occupied)
+{
+    (void)set;
+    (void)slot;
+    (void)occupied; // per-slot tags carry no size fields
+}
+
+void
+BaselineTags::noteEviction(unsigned set, std::size_t slot)
+{
+    Entry &entry = entries[at(set, slot)];
+    if (!entry.valid)
+        panic("BaselineTags::noteEviction: set %u slot %zu not live",
+              set, slot);
+    entry.valid = false;
+    --liveCnt[set];
+}
+
+void
+BaselineTags::reset(ResetCause cause)
+{
+    (void)cause; // baseline keeps TagLayoutStats all-zero by contract
+    for (Entry &entry : entries)
+        entry.valid = false;
+    for (unsigned &count : liveCnt)
+        count = 0;
+}
+
+unsigned
+BaselineTags::coResidents(unsigned set, std::size_t slot) const
+{
+    (void)set;
+    (void)slot;
+    return 1;
+}
+
+std::uint64_t
+BaselineTags::groupOf(unsigned set, std::size_t slot) const
+{
+    (void)set;
+    return slot;
+}
+
+void
+BaselineTags::selfCheck() const
+{
+    for (unsigned set = 0; set < geom.sets; ++set) {
+        unsigned live = 0;
+        for (std::size_t slot = 0; slot < geom.slotsPerSet; ++slot) {
+            const Entry &entry = entries[at(set, slot)];
+            if (!entry.valid)
+                continue;
+            ++live;
+            for (std::size_t other = slot + 1;
+                 other < geom.slotsPerSet; ++other) {
+                const Entry &rhs = entries[at(set, other)];
+                if (rhs.valid && rhs.tag == entry.tag)
+                    panic("BaselineTags: duplicate tag %llu in set %u",
+                          static_cast<unsigned long long>(entry.tag),
+                          set);
+            }
+        }
+        if (live != liveCnt[set])
+            panic("BaselineTags: set %u live count %u != cached %u",
+                  set, live, liveCnt[set]);
+    }
+}
+
+} // namespace tags
+} // namespace kagura

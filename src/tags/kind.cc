@@ -1,0 +1,67 @@
+#include "tags/kind.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace kagura
+{
+namespace tags
+{
+
+const char *
+tagLayoutName(TagLayoutKind kind)
+{
+    switch (kind) {
+      case TagLayoutKind::Baseline:
+        return "baseline";
+      case TagLayoutKind::Superblock:
+        return "superblock";
+      case TagLayoutKind::Signature:
+        return "signature";
+    }
+    panic("unknown TagLayoutKind %d", static_cast<int>(kind));
+}
+
+namespace
+{
+
+constexpr TagLayoutKind allKinds[] = {
+    TagLayoutKind::Baseline,
+    TagLayoutKind::Superblock,
+    TagLayoutKind::Signature,
+};
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<TagLayoutKind>
+parseTagLayoutKind(std::string_view name)
+{
+    for (TagLayoutKind kind : allKinds) {
+        if (iequals(name, tagLayoutName(kind)))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+TagLayoutKindList
+allTagLayoutKinds()
+{
+    return {allKinds, sizeof(allKinds) / sizeof(allKinds[0])};
+}
+
+} // namespace tags
+} // namespace kagura

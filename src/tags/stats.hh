@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tag-layout telemetry: the counters a TagLayout accrues while it
+ * organises a cache's tags. Split from layout.hh so result consumers
+ * (SimResult, the runner codec, reports) can carry the counters
+ * without seeing the layout machinery.
+ *
+ * Encoding contract: BaselineTags records *nothing* here -- its
+ * telemetry is the pre-existing CacheStats -- so every pre-subsystem
+ * configuration still produces an all-zero TagLayoutStats and the
+ * canonical SimResult byte stream (and therefore the committed golden
+ * fingerprints) is unchanged. The runner codec only appends a
+ * tag-stats section when any counter is nonzero.
+ */
+
+#ifndef KAGURA_TAGS_STATS_HH
+#define KAGURA_TAGS_STATS_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "metrics/fwd.hh"
+
+namespace kagura
+{
+namespace tags
+{
+
+/** Blocks per DISH-style superblock (fixed by the layout). */
+constexpr unsigned blocksPerSuperblock = 4;
+
+/** What one tag layout did over a run. */
+struct TagLayoutStats
+{
+    /** Fills that joined an existing superblock entry (shared tag). */
+    std::uint64_t tagCompactions = 0;
+    /** Fresh superblock tag entries allocated. */
+    std::uint64_t sbAllocations = 0;
+    /**
+     * Superblock fill-degree histogram: after each fill into a
+     * superblock entry, the entry's live-block count k increments
+     * sbFillDegree[k-1].
+     */
+    std::uint64_t sbFillDegree[blocksPerSuperblock] = {};
+
+    /** Signature matches that triggered a full-tag re-check. */
+    std::uint64_t sigRechecks = 0;
+    /** Re-checks whose full tag differed (false positives). */
+    std::uint64_t sigFalsePositives = 0;
+
+    /** Live tag entries persisted at a checkpoint flush. */
+    std::uint64_t metadataFlushes = 0;
+    /** Live tag entries dropped with the power (lost, not flushed). */
+    std::uint64_t metadataLosses = 0;
+
+    /** Occupancy samples (one per fill). */
+    std::uint64_t occupancySamples = 0;
+    /** Sum over samples of live tag entries in the filled set. */
+    std::uint64_t tagsLiveSum = 0;
+    /** Sum over samples of resident blocks in the filled set. */
+    std::uint64_t residentBlockSum = 0;
+
+    /** Any counter nonzero? (Gates the optional codec section.) */
+    bool
+    any() const
+    {
+        std::uint64_t sum = tagCompactions + sbAllocations +
+                            sigRechecks + sigFalsePositives +
+                            metadataFlushes + metadataLosses +
+                            occupancySamples + tagsLiveSum +
+                            residentBlockSum;
+        for (std::uint64_t bin : sbFillDegree)
+            sum += bin;
+        return sum != 0;
+    }
+
+    /** Accumulate @p other (suite/seed aggregation). */
+    void
+    add(const TagLayoutStats &other)
+    {
+        tagCompactions += other.tagCompactions;
+        sbAllocations += other.sbAllocations;
+        for (unsigned i = 0; i < blocksPerSuperblock; ++i)
+            sbFillDegree[i] += other.sbFillDegree[i];
+        sigRechecks += other.sigRechecks;
+        sigFalsePositives += other.sigFalsePositives;
+        metadataFlushes += other.metadataFlushes;
+        metadataLosses += other.metadataLosses;
+        occupancySamples += other.occupancySamples;
+        tagsLiveSum += other.tagsLiveSum;
+        residentBlockSum += other.residentBlockSum;
+    }
+
+    /** Mean resident blocks per set at fill time (0 when idle). */
+    double
+    meanResidentBlocks() const
+    {
+        return occupancySamples
+                   ? static_cast<double>(residentBlockSum) /
+                         static_cast<double>(occupancySamples)
+                   : 0.0;
+    }
+
+    /** Mean live tag entries per set at fill time (0 when idle). */
+    double
+    meanLiveTags() const
+    {
+        return occupancySamples
+                   ? static_cast<double>(tagsLiveSum) /
+                         static_cast<double>(occupancySamples)
+                   : 0.0;
+    }
+
+    /**
+     * Export every counter into @p set under "<prefix>/..." names
+     * (no-op series are still recorded; callers gate on any()).
+     */
+    void recordMetrics(metrics::MetricSet &set,
+                       std::string_view prefix) const;
+};
+
+} // namespace tags
+} // namespace kagura
+
+#endif // KAGURA_TAGS_STATS_HH

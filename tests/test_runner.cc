@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -58,11 +60,17 @@ class RunnerTests : public testing::Test
         runner::CacheStore::global().setEnabled(savedEnabled);
     }
 
-    /** Fresh per-test temp directory under the gtest temp root. */
+    /**
+     * Fresh per-test temp directory under the gtest temp root. The
+     * pid suffix keeps the smoke and full test binaries (which both
+     * compile this file) from racing on the same directory when ctest
+     * runs them concurrently.
+     */
     std::string
     tempDir(const std::string &leaf)
     {
-        const std::string dir = testing::TempDir() + "kagura-" + leaf;
+        const std::string dir = testing::TempDir() + "kagura-" + leaf +
+                                "-" + std::to_string(::getpid());
         std::filesystem::remove_all(dir);
         return dir;
     }

@@ -16,6 +16,17 @@
  * the ACC+Kagura config run under each of the three EHS persistence
  * designs (NVSRAMCache, NvMR, SweepCache) -- the parity table the
  * component-refactor suite checks.
+ *
+ * Both modes take an optional `--tag-layout KIND` axis (baseline,
+ * superblock, signature) applied to both caches of every config, so
+ * future layout work can pin its own fingerprints:
+ *
+ *   capture_goldens standard --tag-layout superblock \
+ *       > tests/data/golden_results_superblock.txt
+ *
+ * The committed golden files are captured with the (default) baseline
+ * layout, whose behaviour is pinned bit-identical to the
+ * pre-subsystem cache.
  */
 
 #include <cstdio>
@@ -27,16 +38,28 @@
 #include "runner/result_codec.hh"
 #include "sim/experiment.hh"
 #include "sim/simulator.hh"
+#include "tags/kind.hh"
 
 using namespace kagura;
 
 namespace
 {
 
+/** The --tag-layout axis, applied to every captured config. */
+TagLayoutKind tagLayout = TagLayoutKind::Baseline;
+
+SimConfig
+withLayout(SimConfig config)
+{
+    config.icache.tagLayout = tagLayout;
+    config.dcache.tagLayout = tagLayout;
+    return config;
+}
+
 std::uint64_t
 fingerprint(const SimConfig &config)
 {
-    Simulator sim(config);
+    Simulator sim(withLayout(config));
     return runner::fnv1a64(runner::encodeResult(sim.run()));
 }
 
@@ -77,6 +100,21 @@ captureEhs()
     return 0;
 }
 
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: capture_goldens standard|ehs "
+                 "[--tag-layout KIND]\n"
+                 "  standard  golden_results.txt rows "
+                 "(baseline/ACC/ACC+Kagura)\n"
+                 "  ehs       golden_ehs_results.txt rows "
+                 "(NVSRAM/NvMR/SweepCache under ACC+Kagura)\n"
+                 "  --tag-layout KIND  baseline | superblock | "
+                 "signature (both caches; default baseline)\n");
+    return 2;
+}
+
 } // namespace
 
 int
@@ -84,15 +122,23 @@ main(int argc, char **argv)
 {
     informEnabled = false;
     const char *mode = argc > 1 ? argv[1] : "";
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tag-layout") == 0 && i + 1 < argc) {
+            const auto kind = tags::parseTagLayoutKind(argv[++i]);
+            if (!kind) {
+                std::fprintf(stderr, "unknown tag layout '%s'\n",
+                             argv[i]);
+                return usage();
+            }
+            tagLayout = *kind;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+            return usage();
+        }
+    }
     if (std::strcmp(mode, "standard") == 0)
         return captureStandard();
     if (std::strcmp(mode, "ehs") == 0)
         return captureEhs();
-    std::fprintf(stderr,
-                 "usage: capture_goldens standard|ehs\n"
-                 "  standard  golden_results.txt rows "
-                 "(baseline/ACC/ACC+Kagura)\n"
-                 "  ehs       golden_ehs_results.txt rows "
-                 "(NVSRAM/NvMR/SweepCache under ACC+Kagura)\n");
-    return 2;
+    return usage();
 }

@@ -62,6 +62,9 @@ usage()
         "  --cache-bytes N       I/D cache size each    (default 256)\n"
         "  --ways N              associativity          (default 2)\n"
         "  --block-bytes N       cache block size       (default 32)\n"
+        "  --tag-layout KIND     baseline | superblock | signature\n"
+        "                        (I/D tag organization, default\n"
+        "                        baseline; see docs/TAGS.md)\n"
         "  --nvm KIND            reram | pcm | sttram\n"
         "  --nvm-mb N            NVM capacity in MB     (default 16)\n"
         "  --cap-uf X            capacitance in uF      (default 4.7)\n"
@@ -271,6 +274,13 @@ main(int argc, char **argv)
                 std::atoi(nextArg(argc, argv, i)));
             cfg.icache.blockSize = block;
             cfg.dcache.blockSize = block;
+        } else if (is("--tag-layout")) {
+            const char *v = nextArg(argc, argv, i);
+            const auto kind = tags::parseTagLayoutKind(v);
+            if (!kind)
+                badValue("--tag-layout", v);
+            cfg.icache.tagLayout = *kind;
+            cfg.dcache.tagLayout = *kind;
         } else if (is("--nvm")) {
             const std::string v = nextArg(argc, argv, i);
             if (v == "reram")
