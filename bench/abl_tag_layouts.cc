@@ -11,11 +11,21 @@
  * Per cell the table reports the speedup, the demand hit rate, and
  * the layout's effective capacity (mean resident blocks per set at
  * fill time, from the occupancy telemetry; the baseline layout is the
- * free-tags idealization and reports "-"). The acceptance property is
- * that the new layouts actually exercise their machinery: the
- * superblock sweep must report tag compactions and the signature
- * sweep must report false positives, printed as a PASS/FAIL line
- * (also emitted as the bench/tag_telemetry_violations headline) and
+ * free-tags idealization and reports "-"). The superblock layout gets
+ * an extra row pairing it with the DISH-aware replacement policy
+ * (lone-co-resident-first eviction), which is the policy's natural
+ * habitat. A second, paper-style table sweeps the signature width of
+ * the Touche-style layout: narrower signatures shrink the tag array
+ * but alias more, and every alias costs a full-tag re-check, so the
+ * table reports the false-positive rate against the re-check count
+ * per width.
+ *
+ * The acceptance property is that the new layouts actually exercise
+ * their machinery: the superblock sweep must report tag compactions,
+ * the signature sweep must report false positives, the DISH rows must
+ * report lone-first evictions, and narrower signatures must not
+ * alias *less* than wider ones -- printed as a PASS/FAIL line (also
+ * emitted as the bench/tag_telemetry_violations headline) and
  * reflected in the exit code for CI.
  */
 
@@ -96,6 +106,7 @@ main(int argc, char **argv)
     const char *stackNames[] = {"+ACC", "+ACC+Kagura"};
     std::uint64_t sbCompactions = 0;
     std::uint64_t sigFalsePositives = 0;
+    std::uint64_t dishEvictions = 0;
     unsigned cellsRun = 0;
 
     for (EhsKind ehs :
@@ -106,11 +117,30 @@ main(int argc, char **argv)
                          "+ACC", "+ACC+Kagura", "hit% ACC",
                          "hit% Kagura", "eff. capacity"});
 
-        for (TagLayoutKind layout : tags::allTagLayoutKinds()) {
-            auto shaped = [layout, ehs](SimConfig cfg) {
+        // One row per layout, plus the superblock layout paired with
+        // the DISH-aware policy (its natural habitat: co-residency is
+        // what the policy reads).
+        struct RowSpec
+        {
+            TagLayoutKind layout;
+            ReplKind repl;
+            std::string label;
+        };
+        std::vector<RowSpec> rows;
+        for (TagLayoutKind layout : tags::allTagLayoutKinds())
+            rows.push_back({layout, ReplKind::Lru, tagLayoutName(layout)});
+        rows.push_back({TagLayoutKind::Superblock, ReplKind::Dish,
+                        std::string(tagLayoutName(
+                            TagLayoutKind::Superblock)) +
+                            "+DISH"});
+
+        for (const RowSpec &row : rows) {
+            auto shaped = [&row, ehs](SimConfig cfg) {
                 cfg.ehs = ehs;
-                cfg.icache.tagLayout = layout;
-                cfg.dcache.tagLayout = layout;
+                cfg.icache.tagLayout = row.layout;
+                cfg.dcache.tagLayout = row.layout;
+                cfg.icache.replacement = row.repl;
+                cfg.dcache.replacement = row.repl;
                 return cfg;
             };
             // Per-layout no-compression base: isolates what the
@@ -143,9 +173,18 @@ main(int argc, char **argv)
             sweepTags.add(suiteTagStats(stacks[0]));
             sbCompactions += sweepTags.tagCompactions;
             sigFalsePositives += sweepTags.sigFalsePositives;
+            if (row.repl == ReplKind::Dish) {
+                for (std::size_t s = 0; s < 2; ++s) {
+                    for (const AppResult &app : stacks[s].apps) {
+                        for (const SimResult &run : app.runs)
+                            dishEvictions += run.icache.evictions +
+                                             run.dcache.evictions;
+                    }
+                }
+            }
 
             table.addRow(
-                {tagLayoutName(layout),
+                {row.label,
                  TextTable::pct(meanSpeedupPct(stacks[0], base)),
                  TextTable::pct(meanSpeedupPct(stacks[1], base)),
                  rate(suiteHitRate(stacks[0])),
@@ -156,7 +195,7 @@ main(int argc, char **argv)
                 for (std::size_t s = 0; s < 2; ++s) {
                     const std::string config =
                         std::string(ehsKindName(ehs)) + "/" +
-                        tagLayoutName(layout) + stackNames[s];
+                        row.label + stackNames[s];
                     for (const AppResult &entry : base.apps)
                         bench::emitCell("bench/speedup_pct", entry.app,
                                         config,
@@ -172,8 +211,7 @@ main(int argc, char **argv)
                                           {{"config", config}});
                 }
                 const std::string config =
-                    std::string(ehsKindName(ehs)) + "/" +
-                    tagLayoutName(layout);
+                    std::string(ehsKindName(ehs)) + "/" + row.label;
                 metrics::emitHeadline(
                     "bench/effective_capacity_blocks",
                     kaguraTags.meanResidentBlocks(),
@@ -191,12 +229,96 @@ main(int argc, char **argv)
         table.print();
     }
 
-    // Acceptance: all 3x2x3 cells completed and the non-baseline
-    // layouts produced their characteristic telemetry.
+    // --- signature width vs re-check cost (Touche's sizing axis) ----
+    // Narrower signatures shrink the tag array linearly but alias
+    // combinatorially: every alias is a full-tag re-check that found
+    // nothing (sigFalsePositives of sigRechecks). One EHS design
+    // suffices -- the aliasing is a property of the layout, not the
+    // persistence scheme.
+    const unsigned sigWidths[] = {4, 6, 8, 10, 12};
+    TextTable sigTable;
+    sigTable.setHeader({"sig bits (NVSRAMCache, +ACC+Kagura)",
+                        "speedup", "hit%", "re-checks",
+                        "false positives", "fp rate"});
+    std::uint64_t prevFalsePositives = 0;
+    bool fpMonotone = true;
+    unsigned sigCellsRun = 0;
+    for (unsigned bits_index = 0; bits_index < 5; ++bits_index) {
+        const unsigned bits = sigWidths[4 - bits_index]; // wide -> narrow
+        auto shaped = [bits](SimConfig cfg) {
+            cfg.ehs = EhsKind::NvsramCache;
+            cfg.icache.tagLayout = TagLayoutKind::Signature;
+            cfg.dcache.tagLayout = TagLayoutKind::Signature;
+            cfg.icache.sigBits = bits;
+            cfg.dcache.sigBits = bits;
+            return cfg;
+        };
+        const SuiteResult base = runSuite(
+            "base",
+            [&](const std::string &a) {
+                return shaped(baselineConfig(a));
+            },
+            apps);
+        const SuiteResult stack = runSuite(
+            "kagura",
+            [&](const std::string &a) {
+                return shaped(accKaguraConfig(a));
+            },
+            apps);
+        ++sigCellsRun;
+
+        tags::TagLayoutStats sweepTags = suiteTagStats(stack);
+        sweepTags.add(suiteTagStats(base));
+        const double fp_rate =
+            sweepTags.sigRechecks
+                ? static_cast<double>(sweepTags.sigFalsePositives) /
+                      static_cast<double>(sweepTags.sigRechecks)
+                : 0.0;
+        char bits_label[16];
+        std::snprintf(bits_label, sizeof(bits_label), "%u", bits);
+        char count_buf[2][32];
+        std::snprintf(count_buf[0], sizeof(count_buf[0]), "%llu",
+                      static_cast<unsigned long long>(
+                          sweepTags.sigRechecks));
+        std::snprintf(count_buf[1], sizeof(count_buf[1]), "%llu",
+                      static_cast<unsigned long long>(
+                          sweepTags.sigFalsePositives));
+        sigTable.addRow({bits_label,
+                         TextTable::pct(meanSpeedupPct(stack, base)),
+                         rate(suiteHitRate(stack)), count_buf[0],
+                         count_buf[1], rate(fp_rate)});
+        if (metrics::defaultSink()) {
+            const std::string config =
+                std::string("sig_bits=") + bits_label;
+            metrics::emitHeadline(
+                "bench/sig_width_false_positive_rate", fp_rate,
+                {{"config", config}});
+            metrics::emitHeadline(
+                "bench/sig_width_rechecks",
+                static_cast<double>(sweepTags.sigRechecks),
+                {{"config", config}});
+        }
+        // Widths are swept wide -> narrow, so false positives must
+        // not decrease along the sweep.
+        if (bits_index > 0 &&
+            sweepTags.sigFalsePositives < prevFalsePositives)
+            fpMonotone = false;
+        prevFalsePositives = sweepTags.sigFalsePositives;
+    }
+    std::printf("\nSignature width vs false-positive re-check cost\n");
+    sigTable.print();
+
+    // Acceptance: all cells completed and the non-baseline layouts
+    // produced their characteristic telemetry.
     unsigned violations = 0;
-    if (cellsRun != 18) {
+    if (cellsRun != 24) {
         ++violations;
-        std::printf("  VIOLATION  only %u of 18 cells ran\n", cellsRun);
+        std::printf("  VIOLATION  only %u of 24 cells ran\n", cellsRun);
+    }
+    if (sigCellsRun != 5) {
+        ++violations;
+        std::printf("  VIOLATION  only %u of 5 signature widths ran\n",
+                    sigCellsRun);
     }
     if (!sbCompactions) {
         ++violations;
@@ -208,8 +330,18 @@ main(int argc, char **argv)
         std::printf("  VIOLATION  signature sweep reported zero false "
                     "positives\n");
     }
-    std::printf("\ntag-layout telemetry (18 cells, superblock "
-                "compactions, signature false positives): %s\n",
+    if (!dishEvictions) {
+        ++violations;
+        std::printf("  VIOLATION  DISH rows reported zero evictions\n");
+    }
+    if (!fpMonotone) {
+        ++violations;
+        std::printf("  VIOLATION  narrower signatures aliased less "
+                    "than wider ones\n");
+    }
+    std::printf("\ntag-layout telemetry (24+5 cells, superblock "
+                "compactions, signature false positives, DISH "
+                "evictions, width monotonicity): %s\n",
                 violations ? "FAIL" : "PASS");
     if (metrics::defaultSink())
         metrics::emitHeadline("bench/tag_telemetry_violations",

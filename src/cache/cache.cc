@@ -59,12 +59,41 @@ validated(const CacheConfig &cfg)
     return cfg;
 }
 
+/**
+ * Merge a deeper level's events into this access's outcome --
+ * everything but latency, which each call site charges (or drops)
+ * according to its own critical-path rule.
+ */
+void
+mergeEvents(const hier::LevelEvents &ev, AccessOutcome &out)
+{
+    out.nvmBlockReads += ev.nvmBlockReads;
+    out.nvmBlockWrites += ev.nvmBlockWrites;
+    out.compressions += ev.compressions;
+    out.compactions += ev.compactions;
+    out.decompressions += ev.decompressions;
+    out.evictions += ev.evictions;
+    out.nextLevelAccesses += ev.accesses;
+}
+
+/** The reverse direction: report this level's outcome upward. */
+void
+mergeOutcome(const AccessOutcome &out, hier::LevelEvents &ev)
+{
+    ev.nvmBlockReads += out.nvmBlockReads;
+    ev.nvmBlockWrites += out.nvmBlockWrites;
+    ev.compressions += out.compressions;
+    ev.compactions += out.compactions;
+    ev.decompressions += out.decompressions;
+    ev.evictions += out.evictions;
+}
+
 } // namespace
 
-Cache::Cache(const CacheConfig &config, Nvm &nvm,
+Cache::Cache(const CacheConfig &config, hier::MemLevel &next_level,
              const Compressor *compressor, CompressionGovernor *governor)
-    : cfg(validated(config)), mem(nvm), comp(compressor), gov(governor),
-      shadow(config.sets(), config.ways, config.blockSize)
+    : cfg(validated(config)), next(next_level), comp(compressor),
+      gov(governor), shadow(config.sets(), config.ways, config.blockSize)
 {
     // One tag slot per potential resident (2x ways when compressed)
     // and one fixed arena slice per slot, all allocated up front so
@@ -96,6 +125,7 @@ Cache::Cache(const CacheConfig &config, Nvm &nvm,
     tgeom.slotsPerSet = static_cast<unsigned>(slots_per_set);
     tgeom.blockSize = cfg.blockSize;
     tgeom.segmentBytes = cfg.segmentBytes;
+    tgeom.sigBits = cfg.sigBits;
     tagLayout_ = tags::makeTagLayout(cfg.tagLayout, tgeom);
 }
 
@@ -166,9 +196,11 @@ Cache::compressedFootprint(ConstByteSpan data, bool &worthwhile) const
 void
 Cache::writeback(Line &line, AccessOutcome &out)
 {
-    mem.writeBytes(line.base, lineData(line).data(), cfg.blockSize);
-    ++out.nvmBlockWrites;
-    mem.noteBlockWrite();
+    hier::LevelEvents ev;
+    next.absorbBlock(line.base, lineData(line), ev, clock);
+    // No latency merge: writebacks sit behind the store buffer (the
+    // historical single-level accounting charged none either).
+    mergeEvents(ev, out);
     ++stat.writebacks;
     line.dirty = false;
 }
@@ -337,13 +369,16 @@ Cache::fillLine(Addr addr, Cycles now, AccessOutcome &out)
     Set &set = setArray[setIndex(addr)];
     const Addr base = blockBase(addr);
 
-    // Fetch the block from NVM into inline scratch *before* makeRoom
-    // can write back a victim: NVM addresses wrap modulo the array
-    // size, so an eviction may overwrite the very bytes being fetched.
+    // Fetch the block from the next level into inline scratch *before*
+    // makeRoom can write back a victim: NVM addresses wrap modulo the
+    // array size, so an eviction may overwrite the very bytes being
+    // fetched. The fetch's critical-path latency is kept aside in
+    // fillLat: demand misses add it, prefetch fills drop it.
     Block data(cfg.blockSize);
-    mem.readBlock(base, data.span());
-    ++out.nvmBlockReads;
-    mem.noteBlockRead();
+    hier::LevelEvents fetch;
+    next.fetchBlock(base, data.span(), fetch, now);
+    mergeEvents(fetch, out);
+    fillLat = fetch.latency;
 
     // Engage the compressor datapath (energy is paid whenever it
     // runs), then decide compressed placement separately.
@@ -403,7 +438,16 @@ Cache::access(Addr addr, bool is_write, std::uint8_t *data, unsigned size,
               Cycles now)
 {
     kagura_assert(size >= 1 && size <= 8);
+    return accessImpl(addr, is_write, data, size, now, false);
+}
+
+AccessOutcome
+Cache::accessImpl(Addr addr, bool is_write, std::uint8_t *data,
+                  unsigned size, Cycles now, bool write_no_allocate)
+{
+    kagura_assert(size >= 1 && size <= cfg.blockSize);
     kagura_assert(addr / cfg.blockSize == (addr + size - 1) / cfg.blockSize);
+    clock = now;
 
     AccessOutcome out;
     out.latency = 1; // SRAM hit latency (Table I)
@@ -465,9 +509,21 @@ Cache::access(Addr addr, bool is_write, std::uint8_t *data, unsigned size,
             if (rating > 0 || (rating == 0 && compressBias > 0))
                 gov->noteCompressionDisabledMiss(addr);
         }
+        if (write_no_allocate) {
+            // absorbBlock contract: a write miss forwards the block
+            // to the next level instead of allocating, so a dirty
+            // block never gains an extra volatile copy on its way
+            // toward NVM. @p data spans the whole block here.
+            kagura_assert(is_write && data != nullptr &&
+                          size == cfg.blockSize);
+            hier::LevelEvents fwd;
+            next.absorbBlock(blockBase(addr), ConstByteSpan{data, size},
+                             fwd, now);
+            mergeEvents(fwd, out);
+            return out;
+        }
         line = &fillLine(addr, now, out);
-        const Cycles nvm_lat = mem.params().readLatency;
-        out.latency += nvm_lat;
+        out.latency += fillLat;
         if (line->compressed && comp)
             out.latency += comp->costs().compressLatency;
     }
@@ -565,6 +621,7 @@ AccessOutcome
 Cache::prefetchFill(Addr addr, Cycles now)
 {
     AccessOutcome out;
+    clock = now;
     if (findLine(addr))
         return out;
     fillLine(addr, now, out);
@@ -576,7 +633,7 @@ FlushOutcome
 Cache::writebackAllDirty()
 {
     FlushOutcome flush;
-    AccessOutcome scratch;
+    hier::LevelEvents ev;
     for (Set &set : setArray) {
         for (Line &line : set) {
             if (!line.valid || !line.dirty)
@@ -586,11 +643,44 @@ Cache::writebackAllDirty()
                 ++flush.decompressions;
                 ++stat.decompressions;
             }
-            writeback(line, scratch);
-            ++flush.nvmBlockWrites;
+            next.absorbBlock(line.base, lineData(line), ev, clock);
+            ++stat.writebacks;
+            line.dirty = false;
         }
     }
+    // The terminal NVM absorbs each block as exactly one write, so
+    // these equal dirtyBlocks (the historical accounting) when no
+    // intermediate level sits below; an L2 absorbs hits in place
+    // (absorbedWrites) and adds its own decompression work.
+    flush.nvmBlockWrites = ev.nvmBlockWrites;
+    flush.decompressions += ev.decompressions;
+    flush.absorbedWrites = ev.hits;
     return flush;
+}
+
+void
+Cache::fetchBlock(Addr base, MutByteSpan dst, hier::LevelEvents &ev,
+                  Cycles now)
+{
+    AccessOutcome out =
+        accessImpl(base, false, dst.data(), cfg.blockSize, now, false);
+    ev.accesses += 1;
+    ev.hits += out.hit ? 1 : 0;
+    ev.latency += out.latency;
+    mergeOutcome(out, ev);
+}
+
+void
+Cache::absorbBlock(Addr base, ConstByteSpan src, hier::LevelEvents &ev,
+                   Cycles now)
+{
+    // accessImpl never writes through @p data on the store path.
+    AccessOutcome out =
+        accessImpl(base, true, const_cast<std::uint8_t *>(src.data()),
+                   cfg.blockSize, now, true);
+    ev.accesses += 1;
+    ev.hits += out.hit ? 1 : 0;
+    mergeOutcome(out, ev);
 }
 
 void

@@ -38,7 +38,7 @@
 #include "cache/shadow_tags.hh"
 #include "common/types.hh"
 #include "compress/compressor.hh"
-#include "mem/nvm.hh"
+#include "hier/mem_level.hh"
 #include "metrics/fwd.hh"
 #include "repl/policy.hh"
 #include "tags/layout.hh"
@@ -58,6 +58,13 @@ struct CacheConfig
     ReplKind replacement = ReplKind::Lru;
     /** Tag organization (src/tags). */
     TagLayoutKind tagLayout = TagLayoutKind::Baseline;
+    /**
+     * Signature width in bits (signature tag layout only): narrower
+     * signatures spend less tag area but re-check (and falsely match)
+     * more often. 6 is Touche's sweet spot and the historical
+     * hard-coded value.
+     */
+    unsigned sigBits = 6;
 
     /** Number of sets implied by the geometry. */
     unsigned
@@ -81,6 +88,9 @@ struct AccessOutcome
     unsigned compactions = 0;
     unsigned decompressions = 0;
     unsigned evictions = 0;
+    /** Block operations this access caused at the next *cache* level
+     *  (0 when the next level is the NVM terminal). */
+    unsigned nextLevelAccesses = 0;
     Cycles latency = 0;
 };
 
@@ -88,8 +98,13 @@ struct AccessOutcome
 struct FlushOutcome
 {
     unsigned dirtyBlocks = 0;
+    /** Writes that reached the NVM terminal (== dirtyBlocks when the
+     *  next level is the NVM itself). */
     unsigned nvmBlockWrites = 0;
     unsigned decompressions = 0;
+    /** Writebacks absorbed by an intermediate cache level (hit and
+     *  updated in place; they cost an SRAM write, not an NVM one). */
+    unsigned absorbedWrites = 0;
 };
 
 /** Aggregate cache statistics. */
@@ -127,17 +142,18 @@ struct CacheStats
                        std::string_view prefix) const;
 };
 
-/** The compressed cache. */
-class Cache
+/** The compressed cache (itself one pluggable hierarchy level). */
+class Cache : public hier::MemLevel
 {
   public:
     /**
      * @param config Geometry.
-     * @param nvm Backing nonvolatile memory (fills and writebacks).
+     * @param next_level Backing level (the NVM terminal, or a deeper
+     *                   shared cache) serving fills and writebacks.
      * @param compressor Block compressor, or nullptr for a plain cache.
      * @param governor Compression policy; nullptr compresses never.
      */
-    Cache(const CacheConfig &config, Nvm &nvm,
+    Cache(const CacheConfig &config, hier::MemLevel &next_level,
           const Compressor *compressor = nullptr,
           CompressionGovernor *governor = nullptr);
 
@@ -222,6 +238,31 @@ class Cache
     /** The geometry this cache was built with. */
     const CacheConfig &config() const { return cfg; }
 
+    // --- hier::MemLevel (serving as a shared lower level) ----------------
+
+    /**
+     * Fill path from an upper level: a whole-block read access.
+     * Misses fetch through this cache's own next level and allocate
+     * here (non-inclusive fill-on-read).
+     */
+    void fetchBlock(Addr base, MutByteSpan dst, hier::LevelEvents &ev,
+                    Cycles now) override;
+
+    /**
+     * Writeback path from an upper level: a whole-block write access
+     * with *no* allocation on miss -- a resident copy is updated in
+     * place (write-back), a miss forwards straight to the next level,
+     * so a dirty block never gains an extra volatile copy on its way
+     * toward NVM (docs/HIERARCHY.md).
+     */
+    void absorbBlock(Addr base, ConstByteSpan src, hier::LevelEvents &ev,
+                     Cycles now) override;
+
+    const char *levelName() const override { return name_; }
+
+    /** Rename this level for logs/metrics ("l2"; default "cache"). */
+    void setLevelName(const char *name) { name_ = name; }
+
   private:
     struct Line
     {
@@ -304,10 +345,21 @@ class Cache
     /** Apply EDBP eager writebacks to the set being accessed. */
     void decaySweep(Set &set, Cycles now, AccessOutcome &out);
 
+    /**
+     * The access path shared by demand accesses and the MemLevel
+     * entry points. @p size may be anything up to the block size (the
+     * public access() restricts demand accesses to 1..8 B);
+     * @p write_no_allocate makes a write miss forward the block to
+     * the next level instead of filling (the absorbBlock contract).
+     */
+    AccessOutcome accessImpl(Addr addr, bool is_write, std::uint8_t *data,
+                             unsigned size, Cycles now,
+                             bool write_no_allocate);
+
     /** Fill @p addr into its set, returns the new line. */
     Line &fillLine(Addr addr, Cycles now, AccessOutcome &out);
 
-    /** Write @p line's contents back to NVM. */
+    /** Write @p line's contents back to the next level. */
     void writeback(Line &line, AccessOutcome &out);
 
     /** Write back every valid dirty line (flush/clean paths). */
@@ -322,11 +374,12 @@ class Cache
     void resetAllLines(tags::ResetCause cause);
 
     CacheConfig cfg;
-    Nvm &mem;
+    hier::MemLevel &next;
     const Compressor *comp;
     CompressionGovernor *gov;
     DecayController *decay = nullptr;
     Prefetcher *pf = nullptr;
+    const char *name_ = "cache";
 
     /** Tag-slot index of @p line within @p set. */
     std::size_t slotOf(const Set &set, const Line &line) const
@@ -352,6 +405,11 @@ class Cache
     ShadowTags shadow;
     CacheStats stat;
     std::uint64_t useCounter = 0;
+    /** Latest access cycle, for flush-path writebacks (no `now`). */
+    Cycles clock = 0;
+    /** Fetch latency of the most recent fillLine (demand misses add
+     *  it to the critical path; prefetch fills drop it). */
+    Cycles fillLat = 0;
 
     /**
      * Global compressibility bias: a small saturating counter of the

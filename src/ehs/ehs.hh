@@ -68,6 +68,16 @@ struct EhsContext
     unsigned regWords = 0;
 
     /**
+     * Optional shared L2 between the L1s and NVM (docs/HIERARCHY.md),
+     * or nullptr for the single-level platform. Its dirty state is
+     * volatile like the L1s': NVSRAMCache flushes it at the JIT
+     * checkpoint (ResetCause::Flush), NvMR writes through it, and
+     * SweepCache sweeps it at region boundaries; NvMR and SweepCache
+     * drop it at power failure (ResetCause::PowerLoss).
+     */
+    Cache *l2 = nullptr;
+
+    /**
      * Cost of a checkpoint that persists @p nvm_block_writes dirty
      * blocks (each at @p per_write_latency cycles -- full NVM write
      * latency for serial JIT flushes, half of it for designs whose

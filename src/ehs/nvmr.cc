@@ -14,7 +14,12 @@ NvmrEhs::onStore(Addr addr, EhsContext &ctx)
 
     // Functionally persist the block now and mark the cached copy
     // clean: with renaming there is never dirty-only data in SRAM.
+    // With an L2 the L1 writeback may land in (and dirty) the shared
+    // level, so push it the rest of the way -- the renamed store must
+    // reach NVM, not merely the next volatile array.
     ctx.dcache.writebackBlock(block);
+    if (ctx.l2)
+        ctx.l2->writebackBlock(block);
 
     // Map-table cache lookup: a miss walks the in-NVM map table.
     const std::size_t mtc_slot =
@@ -55,6 +60,8 @@ NvmrEhs::onPowerFailure(EhsContext &ctx)
     // the shared checkpoint formula with zero block writes.
     ctx.icache.invalidateAll();
     ctx.dcache.invalidateAll();
+    if (ctx.l2)
+        ctx.l2->invalidateAll();
 
     // The volatile merge buffer and map-table cache die with power.
     for (std::size_t i = 0; i < mergeEntries; ++i)

@@ -12,10 +12,32 @@ NvsramEhs::onPowerFailure(EhsContext &ctx)
     // NVFFs as part of the shared checkpoint formula.
     const FlushOutcome iflush = ctx.icache.flushAndInvalidate();
     const FlushOutcome dflush = ctx.dcache.flushAndInvalidate();
-    return ctx.checkpointCost(
-        iflush.nvmBlockWrites + dflush.nvmBlockWrites,
-        iflush.decompressions + dflush.decompressions,
+    if (!ctx.l2) {
+        return ctx.checkpointCost(
+            iflush.nvmBlockWrites + dflush.nvmBlockWrites,
+            iflush.decompressions + dflush.decompressions,
+            ctx.nvm.writeLatency);
+    }
+
+    // With an L2, the L1 flushes above pushed their dirty blocks into
+    // it (absorbed on an L2 hit, forwarded to NVM on a miss); the
+    // L2's own dirty set then joins the same JIT flush -- its
+    // metadata rides out with the data (ResetCause::Flush).
+    const FlushOutcome l2flush = ctx.l2->flushAndInvalidate();
+    EhsCost cost = ctx.checkpointCost(
+        iflush.nvmBlockWrites + dflush.nvmBlockWrites +
+            l2flush.nvmBlockWrites,
+        iflush.decompressions + dflush.decompressions +
+            l2flush.decompressions,
         ctx.nvm.writeLatency);
+    // Writebacks the L2 absorbed in place cost one SRAM array write
+    // each instead of an NVM write.
+    const unsigned absorbed =
+        iflush.absorbedWrites + dflush.absorbedWrites;
+    cost.cycles += absorbed;
+    cost.energy += absorbed * ctx.energy.cacheAccessEnergy(
+                                  ctx.l2->config().sizeBytes);
+    return cost;
 }
 
 EhsCost

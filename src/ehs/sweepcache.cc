@@ -28,9 +28,25 @@ SweepEhs::onInstructionCommit(std::uint64_t count, std::uint64_t op_index,
     ++sweepCount;
 
     const FlushOutcome sweep = ctx.dcache.cleanAll();
-    return ctx.checkpointCost(sweep.nvmBlockWrites,
-                              sweep.decompressions,
-                              ctx.nvm.writeLatency / 2);
+    if (!ctx.l2) {
+        return ctx.checkpointCost(sweep.nvmBlockWrites,
+                                  sweep.decompressions,
+                                  ctx.nvm.writeLatency / 2);
+    }
+
+    // With an L2 the boundary must persist *its* dirty set too -- a
+    // rollback past the boundary would otherwise lose blocks the
+    // sweep left parked in the shared volatile level.
+    const FlushOutcome l2sweep = ctx.l2->cleanAll();
+    EhsCost cost = ctx.checkpointCost(
+        sweep.nvmBlockWrites + l2sweep.nvmBlockWrites,
+        sweep.decompressions + l2sweep.decompressions,
+        ctx.nvm.writeLatency / 2);
+    cost.cycles += sweep.absorbedWrites;
+    cost.energy += sweep.absorbedWrites *
+                   ctx.energy.cacheAccessEnergy(
+                       ctx.l2->config().sizeBytes);
+    return cost;
 }
 
 EhsCost
@@ -39,6 +55,8 @@ SweepEhs::onPowerFailure(EhsContext &ctx)
     // Everything since the boundary is simply lost; the caches drop.
     ctx.icache.invalidateAll();
     ctx.dcache.invalidateAll();
+    if (ctx.l2)
+        ctx.l2->invalidateAll();
     return {};
 }
 

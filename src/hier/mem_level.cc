@@ -1,0 +1,12 @@
+#include "hier/mem_level.hh"
+
+namespace kagura
+{
+namespace hier
+{
+
+// Out-of-line key function: anchors the vtable in kagura_hier.
+MemLevel::~MemLevel() = default;
+
+} // namespace hier
+} // namespace kagura

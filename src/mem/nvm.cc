@@ -32,4 +32,21 @@ Nvm::readBlock(Addr addr, MutByteSpan dst) const
     readBytes(addr, dst.data(), dst.size());
 }
 
+void
+Nvm::fetchBlock(Addr base, MutByteSpan dst, hier::LevelEvents &ev, Cycles)
+{
+    readBlock(base, dst);
+    noteBlockRead();
+    ++ev.nvmBlockReads;
+    ev.latency += timing.readLatency;
+}
+
+void
+Nvm::absorbBlock(Addr base, ConstByteSpan src, hier::LevelEvents &ev, Cycles)
+{
+    writeBytes(base, src.data(), src.size());
+    noteBlockWrite();
+    ++ev.nvmBlockWrites;
+}
+
 } // namespace kagura

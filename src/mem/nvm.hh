@@ -18,12 +18,13 @@
 #include "common/block.hh"
 #include "common/types.hh"
 #include "energy/energy_model.hh"
+#include "hier/mem_level.hh"
 
 namespace kagura
 {
 
-/** Nonvolatile main memory model. */
-class Nvm
+/** Nonvolatile main memory model (the hierarchy's terminal level). */
+class Nvm : public hier::MemLevel
 {
   public:
     /**
@@ -61,6 +62,18 @@ class Nvm
 
     /** Account one block write (called by the cache on writebacks). */
     void noteBlockWrite() { ++writes; }
+
+    // --- hier::MemLevel (the terminal level) -----------------------------
+
+    /** Block fill: read + account + charge the array's read latency. */
+    void fetchBlock(Addr base, MutByteSpan dst, hier::LevelEvents &ev,
+                    Cycles now) override;
+
+    /** Block writeback: persist + account (no latency; store-buffered). */
+    void absorbBlock(Addr base, ConstByteSpan src, hier::LevelEvents &ev,
+                     Cycles now) override;
+
+    const char *levelName() const override { return "nvm"; }
 
   private:
     /** Wrap an address into the array. */

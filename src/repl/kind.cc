@@ -25,6 +25,8 @@ replacementPolicyName(ReplKind kind)
         return "CRRIP";
       case ReplKind::SizeOptgen:
         return "size-optgen";
+      case ReplKind::Dish:
+        return "dish";
     }
     panic("unknown ReplKind %d", static_cast<int>(kind));
 }
@@ -33,13 +35,14 @@ namespace
 {
 
 constexpr ReplKind allKinds[] = {
-    ReplKind::Lru,  ReplKind::Fifo,  ReplKind::Random,
-    ReplKind::Camp, ReplKind::Crrip, ReplKind::SizeOptgen,
+    ReplKind::Lru,   ReplKind::Fifo,       ReplKind::Random,
+    ReplKind::Camp,  ReplKind::Crrip,      ReplKind::SizeOptgen,
+    ReplKind::Dish,
 };
 
 constexpr ReplKind onlineKinds[] = {
     ReplKind::Lru,  ReplKind::Fifo,  ReplKind::Random,
-    ReplKind::Camp, ReplKind::Crrip,
+    ReplKind::Camp, ReplKind::Crrip, ReplKind::Dish,
 };
 
 bool

@@ -27,6 +27,7 @@ enum class ReplKind
     Camp,       ///< CAMP: minimal-value eviction + size-aware insertion
     Crrip,      ///< size-bucketed RRIP (compression-aware RRIP)
     SizeOptgen, ///< offline size-aware OPTgen upper-bound oracle
+    Dish,       ///< superblock-aware: lone co-residents first, then LRU
 };
 
 /**

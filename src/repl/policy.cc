@@ -8,6 +8,7 @@
 #include "repl/camp.hh"
 #include "repl/classic.hh"
 #include "repl/crrip.hh"
+#include "repl/dish.hh"
 #include "repl/size_optgen.hh"
 
 namespace kagura
@@ -128,6 +129,8 @@ makePolicy(ReplKind kind, const PolicyGeometry &geometry)
         return std::make_unique<CrripPolicy>(geometry);
       case ReplKind::SizeOptgen:
         return std::make_unique<SizeOptgenPolicy>(geometry);
+      case ReplKind::Dish:
+        return std::make_unique<DishPolicy>(geometry);
     }
     panic("unknown ReplKind %d", static_cast<int>(kind));
 }

@@ -132,12 +132,27 @@ struct Reader
 };
 
 /**
- * Id of the tag-stats extension section. Extension sections trail the
+ * Ids of the tagged extension sections. Extension sections trail the
  * untagged OPTgen section behind a u64 0 marker: the OPTgen section's
  * first word (replOptAccesses) is nonzero by construction, so a zero
  * word in its position unambiguously announces "tagged section next".
+ * Sections are emitted (and must decode) in ascending id order, each
+ * behind its own zero marker, and only when non-empty -- the canonical
+ * form every pre-existing byte stream already satisfies.
  */
 constexpr std::uint32_t tagStatsSection = 1;
+constexpr std::uint32_t l2StatsSection = 2;
+
+/** Is any counter set? (Emission gate for the L2 section.) */
+bool
+anyStats(const CacheStats &s)
+{
+    return s.accesses || s.hits || s.misses || s.evictions ||
+           s.writebacks || s.compressions || s.compactions ||
+           s.decompressions || s.compressedHits ||
+           s.compressionEnabledHits || s.wastedDecompressions ||
+           s.prefetchFills || s.decayWritebacks;
+}
 
 void
 putTagStats(std::string &out, const tags::TagLayoutStats &s)
@@ -274,6 +289,15 @@ encodeResult(const SimResult &r)
         putTagStats(out, r.icacheTags);
         putTagStats(out, r.dcacheTags);
     }
+
+    // Tagged extension section: shared-L2 telemetry. Nonzero only for
+    // hierarchy configs, so single-level encodings stay byte-exact.
+    if (anyStats(r.l2cache) || r.l2cacheTags.any()) {
+        putU64(out, 0);
+        putU32(out, l2StatsSection);
+        putCacheStats(out, r.l2cache);
+        putTagStats(out, r.l2cacheTags);
+    }
     return out;
 }
 
@@ -338,28 +362,47 @@ decodeResult(std::string_view bytes, SimResult &out)
     // Optional trailing sections. The first remaining word
     // disambiguates: nonzero is the untagged OPTgen upper bound
     // (replOptAccesses != 0 by construction), zero is the marker for
-    // a tagged extension section. A tagged section may follow the
-    // OPTgen section.
-    bool sawExtension = false;
+    // a tagged extension section. Any number of tagged sections may
+    // follow, each behind its own zero marker, ids strictly ascending.
+    bool sawTags = false;
+    bool sawL2 = false;
     if (in.ok && in.pos != bytes.size()) {
-        std::uint64_t first = in.u64();
+        const std::uint64_t first = in.u64();
+        bool marker_consumed = (first == 0);
         if (first != 0) {
             r.replOptAccesses = first;
             r.replOptHits = in.u64();
-            if (in.ok && in.pos != bytes.size())
-                first = in.u64();
         }
-        if (in.ok && first == 0) {
-            sawExtension = true;
-            if (in.u32() != tagStatsSection)
+        std::uint32_t last_id = 0;
+        while (in.ok && (marker_consumed || in.pos != bytes.size())) {
+            if (!marker_consumed && in.u64() != 0)
                 return false;
-            readTagStats(in, r.icacheTags);
-            readTagStats(in, r.dcacheTags);
+            marker_consumed = false;
+            const std::uint32_t id = in.u32();
+            if (!in.ok || id <= last_id)
+                return false;
+            last_id = id;
+            switch (id) {
+            case tagStatsSection:
+                sawTags = true;
+                readTagStats(in, r.icacheTags);
+                readTagStats(in, r.dcacheTags);
+                break;
+            case l2StatsSection:
+                sawL2 = true;
+                readCacheStats(in, r.l2cache);
+                readTagStats(in, r.l2cacheTags);
+                break;
+            default:
+                return false;
+            }
         }
     }
-    // Canonical form: the tag-stats section exists iff it has content
+    // Canonical form: each tagged section exists iff it has content
     // (mirrors the encoder, so decode(encode(r)) is byte-exact).
-    if (sawExtension && !r.icacheTags.any() && !r.dcacheTags.any())
+    if (sawTags && !r.icacheTags.any() && !r.dcacheTags.any())
+        return false;
+    if (sawL2 && !anyStats(r.l2cache) && !r.l2cacheTags.any())
         return false;
 
     // A well-formed payload is consumed exactly.

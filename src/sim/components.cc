@@ -70,13 +70,15 @@ TelemetryComponent::recordMetrics(metrics::MetricSet &set)
 
     result.icache.recordMetrics(set, "sim/icache");
     result.dcache.recordMetrics(set, "sim/dcache");
+    if (cfg.enableL2)
+        result.l2cache.recordMetrics(set, "sim/l2");
     result.ledger.recordMetrics(set, "sim/energy");
 }
 
 void
 KaguraComponent::recordMetrics(metrics::MetricSet &set)
 {
-    kagura.stats().recordMetrics(set, "sim/kagura");
+    kagura.stats().recordMetrics(set, prefix);
 }
 
 void
@@ -86,6 +88,8 @@ CompressionStackComponent::recordMetrics(metrics::MetricSet &set)
         ichain.acc->recordMetrics(set, "sim/icache/acc");
     if (dchain.acc)
         dchain.acc->recordMetrics(set, "sim/dcache/acc");
+    if (l2chain && l2chain->acc)
+        l2chain->acc->recordMetrics(set, "sim/l2/acc");
     if (comp)
         comp->recordMetrics(set, "sim/compressor");
 }

@@ -64,12 +64,16 @@ class KaguraComponent : public SimComponent
      * @param meter_ Voltage source for the voltage trigger.
      * @param cap Capacitor thresholds the trigger compares against.
      * @param voltage_trigger Sample the voltage every step?
+     * @param prefix_ Metric-name prefix. A second instance gating a
+     *        different level (the L2) passes its own prefix so the
+     *        two controllers' stats never collide.
      */
     KaguraComponent(KaguraController &controller,
                     const EnergyMeter &meter_,
-                    const CapacitorConfig &cap, bool voltage_trigger)
+                    const CapacitorConfig &cap, bool voltage_trigger,
+                    const char *prefix_ = "sim/kagura")
         : kagura(controller), meter(meter_), capacitor(cap),
-          voltageTrigger(voltage_trigger)
+          prefix(prefix_), voltageTrigger(voltage_trigger)
     {
     }
 
@@ -108,6 +112,7 @@ class KaguraComponent : public SimComponent
     KaguraController &kagura;
     const EnergyMeter &meter;
     const CapacitorConfig &capacitor;
+    const char *prefix;
     bool voltageTrigger;
 };
 
@@ -120,10 +125,13 @@ class KaguraComponent : public SimComponent
 class CompressionStackComponent : public SimComponent
 {
   public:
+    /** @param l2chain_ The L2's chain, when an L2 exists (else null). */
     CompressionStackComponent(const GovernorChain &ichain_,
                               const GovernorChain &dchain_,
-                              const Compressor *compressor)
-        : ichain(ichain_), dchain(dchain_), comp(compressor)
+                              const Compressor *compressor,
+                              const GovernorChain *l2chain_ = nullptr)
+        : ichain(ichain_), dchain(dchain_), l2chain(l2chain_),
+          comp(compressor)
     {
     }
 
@@ -133,6 +141,7 @@ class CompressionStackComponent : public SimComponent
   private:
     const GovernorChain &ichain;
     const GovernorChain &dchain;
+    const GovernorChain *l2chain;
     const Compressor *comp;
 };
 
@@ -140,16 +149,24 @@ class CompressionStackComponent : public SimComponent
 class DecayComponent : public SimComponent
 {
   public:
-    DecayComponent(const DecayConfig &config, Cache &dcache)
+    /** @param l2 Optional L2; gets its own controller (independent
+     *  generation counters -- the levels decay at their own pace). */
+    DecayComponent(const DecayConfig &config, Cache &dcache,
+                   Cache *l2 = nullptr)
         : decay(std::make_unique<DecayController>(config))
     {
         dcache.setDecay(decay.get());
+        if (l2) {
+            l2decay = std::make_unique<DecayController>(config);
+            l2->setDecay(l2decay.get());
+        }
     }
 
     const char *name() const override { return "decay"; }
 
   private:
     std::unique_ptr<DecayController> decay;
+    std::unique_ptr<DecayController> l2decay;
 };
 
 /**

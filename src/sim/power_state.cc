@@ -8,11 +8,12 @@ PowerStateMachine::PowerStateMachine(
     Cache &dcache, Core &core_, EhsDesign &ehs_, SimHooks &hooks_,
     SimResult &result_, const NvmParams &nvm_params,
     CompressionCosts comp_costs, bool has_compression,
-    unsigned reg_words)
+    unsigned reg_words, Cache *l2_cache)
     : cfg(config), meter(meter_), iCache(icache), dCache(dcache),
-      core(core_), ehs(ehs_), hooks(hooks_), result(result_),
+      l2Cache(l2_cache), core(core_), ehs(ehs_), hooks(hooks_),
+      result(result_),
       ctx{icache,     dcache,          config.energy, nvm_params,
-          comp_costs, has_compression, reg_words}
+          comp_costs, has_compression, reg_words,     l2_cache}
 {
 }
 
@@ -38,10 +39,25 @@ PowerStateMachine::updateRegionsActive(std::uint64_t instructions,
     // shared formula as the JIT and sweep paths.
     const FlushOutcome iclean = iCache.cleanAll();
     const FlushOutcome dclean = dCache.cleanAll();
-    const EhsCost cost = ctx.checkpointCost(
-        iclean.nvmBlockWrites + dclean.nvmBlockWrites,
-        iclean.decompressions + dclean.decompressions,
-        ctx.nvm.writeLatency);
+    unsigned writes = iclean.nvmBlockWrites + dclean.nvmBlockWrites;
+    unsigned decomp = iclean.decompressions + dclean.decompressions;
+    unsigned absorbed = 0;
+    if (l2Cache) {
+        // The L1 cleans parked their dirty blocks in the L2; the
+        // region checkpoint must push its dirty set the rest of the
+        // way, exactly like the JIT flush does.
+        const FlushOutcome l2clean = l2Cache->cleanAll();
+        writes += l2clean.nvmBlockWrites;
+        decomp += l2clean.decompressions;
+        absorbed = iclean.absorbedWrites + dclean.absorbedWrites;
+    }
+    EhsCost cost =
+        ctx.checkpointCost(writes, decomp, ctx.nvm.writeLatency);
+    if (l2Cache) {
+        cost.cycles += absorbed;
+        cost.energy += absorbed * ctx.energy.cacheAccessEnergy(
+                                      l2Cache->config().sizeBytes);
+    }
     meter.spend(EnergyCategory::Checkpoint, cost.energy);
     meter.chargeStaticPower(cost.cycles);
     meter.advanceWall(cost.cycles);
@@ -75,6 +91,8 @@ PowerStateMachine::powerFail(std::uint64_t op_index)
         // execution rolls back to the region-entry checkpoint.
         iCache.invalidateAll();
         dCache.invalidateAll();
+        if (l2Cache)
+            l2Cache->invalidateAll();
         core.flushFetchBuffer();
         regionInstr = 0;
         closeCycle();

@@ -52,13 +52,15 @@ class PowerStateMachine
      *        meaningful when @p has_compression).
      * @param has_compression Is a compressor configured?
      * @param reg_words 32-bit words persisted at each checkpoint.
+     * @param l2_cache Optional shared L2 (nullptr = single level).
      */
     PowerStateMachine(const SimConfig &config, EnergyMeter &meter_,
                       Cache &icache, Cache &dcache, Core &core_,
                       EhsDesign &ehs_, SimHooks &hooks_,
                       SimResult &result_, const NvmParams &nvm_params,
                       CompressionCosts comp_costs,
-                      bool has_compression, unsigned reg_words);
+                      bool has_compression, unsigned reg_words,
+                      Cache *l2_cache = nullptr);
 
     /** The machine's (sole) EHS context. */
     EhsContext &context() { return ctx; }
@@ -149,6 +151,7 @@ class PowerStateMachine
     EnergyMeter &meter;
     Cache &iCache;
     Cache &dCache;
+    Cache *l2Cache;
     Core &core;
     EhsDesign &ehs;
     SimHooks &hooks;

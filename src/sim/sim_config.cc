@@ -53,6 +53,18 @@ SimConfig::describe() const
             out += tagLayoutName(icache.tagLayout);
         }
     }
+    if (enableL2) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " / L2=%uB/%uw", l2.sizeBytes,
+                      l2.ways);
+        out += buf;
+        if (l2Governor != GovernorKind::None) {
+            out += "+";
+            out += governorKindName(l2Governor);
+            if (l2Kagura)
+                out += "+Kagura";
+        }
+    }
     return out;
 }
 
@@ -93,6 +105,10 @@ appendCacheConfig(std::string &out, const char *name,
         keyf(out, "%s.tag_layout=%s", name,
              tagLayoutName(cache.tagLayout));
     }
+    // Same trick for the signature width: 6-bit signatures predate
+    // this key (SignatureTags' historical constant).
+    if (cache.sigBits != 6)
+        keyf(out, "%s.sig_bits=%u", name, cache.sigBits);
 }
 
 } // namespace
@@ -111,6 +127,16 @@ SimConfig::canonicalKey() const
     out += trace::traceWorkloadKeyLines(workload);
     appendCacheConfig(out, "icache", icache);
     appendCacheConfig(out, "dcache", dcache);
+    // Conditional L2 lines, like the optional tag_layout keys: the
+    // hierarchy refactor must not move any no-L2 key, or every cached
+    // result (and the committed fixture) would churn for
+    // configurations whose behavior did not change.
+    if (enableL2) {
+        keyf(out, "l2.enabled=1");
+        appendCacheConfig(out, "l2", l2);
+        keyf(out, "l2.governor=%s", governorKindName(l2Governor));
+        keyf(out, "l2.kagura=%d", l2Kagura ? 1 : 0);
+    }
     keyf(out, "governor=%s", governorKindName(governor));
     keyf(out, "compressor=%s", compressorKindName(compressor));
     keyf(out, "kagura.enabled=%d", enableKagura ? 1 : 0);

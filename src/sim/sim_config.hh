@@ -40,6 +40,24 @@ struct SimConfig
     GovernorKind governor = GovernorKind::None;
     CompressorKind compressor = CompressorKind::Bdi;
 
+    /**
+     * Optional shared L2 between the two L1s and NVM
+     * (docs/HIERARCHY.md). Non-inclusive, write-back, with
+     * write-no-allocate absorption of L1 writebacks; it has its own
+     * tag layout, replacement policy, decay, per-level metrics, and
+     * -- via l2Governor/l2Kagura -- its own compression chain, so
+     * Kagura can gate each level independently. Off by default: the
+     * no-L2 configuration is bit-identical to the single-level
+     * simulator (goldens, fixture, salt all pinned).
+     */
+    bool enableL2 = false;
+    CacheConfig l2{1024, 4, 32, 8, ReplKind::Lru,
+                   TagLayoutKind::Baseline};
+    /** Compression governor for the L2's own chain (None = raw L2). */
+    GovernorKind l2Governor = GovernorKind::None;
+    /** Wrap the L2 governor in its own Kagura mode controller. */
+    bool l2Kagura = false;
+
     /** Wrap the governor in Kagura's mode controller. */
     bool enableKagura = false;
     KaguraConfig kagura{};

@@ -85,6 +85,15 @@ struct SimResult
     tags::TagLayoutStats icacheTags;
     tags::TagLayoutStats dcacheTags;
 
+    /**
+     * Shared-L2 telemetry (SimConfig::enableL2 only). All-zero for
+     * single-level configs; the runner codec encodes them in their own
+     * trailing section only when some counter is nonzero, keeping
+     * pre-hierarchy encodings byte-identical.
+     */
+    CacheStats l2cache;
+    tags::TagLayoutStats l2cacheTags;
+
     /** Attainable hit rate of the offline replacement bound. */
     double
     replOptHitRate() const

@@ -15,8 +15,10 @@ Simulator::Simulator(const SimConfig &config) : cfg(config)
     mset = std::make_unique<metrics::MetricSet>();
     mem = std::make_unique<Nvm>(cfg.nvmType, cfg.nvmBytes);
 
-    // Compression stack: algorithm + per-cache governor chains.
-    if (cfg.governor != GovernorKind::None)
+    // Compression stack: algorithm + per-cache governor chains. Any
+    // level wanting compression brings the (shared) algorithm in.
+    if (cfg.governor != GovernorKind::None ||
+        (cfg.enableL2 && cfg.l2Governor != GovernorKind::None))
         comp = makeCompressor(cfg.compressor);
 
     if (cfg.enableKagura) {
@@ -38,16 +40,49 @@ Simulator::Simulator(const SimConfig &config) : cfg(config)
     ichain = makeGovernorChain(chain_spec);
     dchain = makeGovernorChain(chain_spec);
 
-    iCache = std::make_unique<Cache>(cfg.icache, *mem, comp.get(),
+    // Optional shared L2 with its own governor chain and (when asked
+    // for) its own Kagura controller -- per-level gating means the L2
+    // can keep compressing while the L1s have backed off, and vice
+    // versa.
+    if (cfg.enableL2) {
+        if (cfg.l2Kagura) {
+            if (cfg.l2Governor == GovernorKind::None)
+                fatal("L2 Kagura requires an L2 compression governor "
+                      "to wrap");
+            l2KaguraCtl = std::make_unique<KaguraController>(
+                cfg.kagura, nullptr);
+        }
+        GovernorChainSpec l2_spec;
+        l2_spec.governor = cfg.l2Governor;
+        l2_spec.kagura = l2KaguraCtl.get();
+        l2chain = makeGovernorChain(l2_spec);
+        l2Cache = std::make_unique<Cache>(
+            cfg.l2, *mem,
+            cfg.l2Governor != GovernorKind::None ? comp.get()
+                                                 : nullptr,
+            l2chain.head);
+        l2Cache->setLevelName("l2");
+    }
+
+    hier::MemLevel &l1_next =
+        l2Cache ? static_cast<hier::MemLevel &>(*l2Cache)
+                : static_cast<hier::MemLevel &>(*mem);
+    // Levels compress independently: each gets the algorithm only when
+    // its own governor asks for one (an L2-only compressed hierarchy
+    // leaves the L1s uncompressed, and vice versa).
+    const Compressor *l1_comp =
+        cfg.governor != GovernorKind::None ? comp.get() : nullptr;
+    iCache = std::make_unique<Cache>(cfg.icache, l1_next, l1_comp,
                                      ichain.head);
-    dCache = std::make_unique<Cache>(cfg.dcache, *mem, comp.get(),
+    dCache = std::make_unique<Cache>(cfg.dcache, l1_next, l1_comp,
                                      dchain.head);
     core = std::make_unique<Core>(*iCache, *dCache);
 
     meter = std::make_unique<EnergyMeter>(
         cfg.capacitor, cfg.energy,
         cfg.energy.cacheLeakagePerByte *
-            (cfg.icache.sizeBytes + cfg.dcache.sizeBytes),
+            (cfg.icache.sizeBytes + cfg.dcache.sizeBytes +
+             (cfg.enableL2 ? cfg.l2.sizeBytes : 0u)),
         mem->params().standbyPower,
         makeTrace(cfg.trace, cfg.traceIntervals, cfg.traceSeed,
                   cfg.traceScale),
@@ -65,14 +100,23 @@ Simulator::Simulator(const SimConfig &config) : cfg(config)
             *kaguraCtl, *meter, cfg.capacitor, vol_trigger);
         bus.attach(*kaguraComp);
     }
+    if (l2KaguraCtl) {
+        const bool l2_vol_trigger =
+            cfg.kagura.trigger == TriggerKind::Voltage;
+        l2KaguraComp = std::make_unique<KaguraComponent>(
+            *l2KaguraCtl, *meter, cfg.capacitor, l2_vol_trigger,
+            "sim/l2/kagura");
+        bus.attach(*l2KaguraComp);
+    }
 
     compStack = std::make_unique<CompressionStackComponent>(
-        ichain, dchain, comp.get());
+        ichain, dchain, comp.get(),
+        cfg.enableL2 ? &l2chain : nullptr);
     bus.attach(*compStack);
 
     if (cfg.enableDecay) {
-        decayComp =
-            std::make_unique<DecayComponent>(cfg.decay, *dCache);
+        decayComp = std::make_unique<DecayComponent>(
+            cfg.decay, *dCache, l2Cache.get());
         bus.attach(*decayComp);
     }
     if (cfg.enablePrefetch) {
@@ -91,12 +135,16 @@ Simulator::Simulator(const SimConfig &config) : cfg(config)
         regWords += 2; // one GCP per cache controller
     if (cfg.enableKagura)
         regWords += 6; // five registers + the 2-bit counter
+    if (cfg.enableL2 && cfg.l2Governor == GovernorKind::Acc)
+        regWords += 1; // the single L2 controller's GCP
+    if (cfg.enableL2 && cfg.l2Kagura)
+        regWords += 6; // the L2's own Kagura register file
 
     psm = std::make_unique<PowerStateMachine>(
         cfg, *meter, *iCache, *dCache, *core, ehsComp->design(), bus,
         result, mem->params(),
         comp ? comp->costs() : CompressionCosts{}, comp != nullptr,
-        regWords);
+        regWords, l2Cache.get());
 }
 
 Simulator::~Simulator() = default;
@@ -116,6 +164,9 @@ Simulator::run()
         cfg.energy.cacheAccessEnergy(cfg.icache.sizeBytes);
     const PicoJoules dcache_access =
         cfg.energy.cacheAccessEnergy(cfg.dcache.sizeBytes);
+    const PicoJoules l2cache_access =
+        cfg.enableL2 ? cfg.energy.cacheAccessEnergy(cfg.l2.sizeBytes)
+                     : 0.0;
     const NvmParams &nvm_p = mem->params();
 
     const bool pays_monitor = ehsComp->design().hasVoltageMonitor();
@@ -145,6 +196,16 @@ Simulator::run()
             EnergyCategory::CacheOther,
             static_cast<double>(icache_accesses) * icache_access +
                 (sr.isMem ? dcache_access : 0.0));
+        // L2 array energy: one access per block the L1s pushed down or
+        // pulled up. nextLevelAccesses is zero whenever the next level
+        // is the NVM terminal, so single-level runs never take this
+        // branch (bit-identity).
+        const unsigned l2_accesses = sr.icache.nextLevelAccesses +
+                                     sr.dcache.nextLevelAccesses;
+        if (l2_accesses > 0)
+            meter->spend(EnergyCategory::CacheOther,
+                         static_cast<double>(l2_accesses) *
+                             l2cache_access);
         if (compressions > 0)
             meter->spend(EnergyCategory::Compress,
                          compressions * ccosts.compressEnergy +
@@ -215,6 +276,15 @@ Simulator::run()
         result.replOptAccesses += bound->accesses;
         result.replOptHits += bound->hits;
     }
+    if (l2Cache) {
+        result.l2cache = l2Cache->stats();
+        result.l2cacheTags = l2Cache->tagStats();
+        if (const repl::UpperBoundStats *bound =
+                l2Cache->replPolicy().upperBound()) {
+            result.replOptAccesses += bound->accesses;
+            result.replOptHits += bound->hits;
+        }
+    }
     if (kaguraCtl)
         result.kagura = kaguraCtl->stats();
     if (ichain.replayer)
@@ -236,6 +306,10 @@ Simulator::run()
     // layout, which keeps its counters at zero by contract).
     iCache->tagLayout().recordMetrics(*mset, "sim/icache/tags");
     dCache->tagLayout().recordMetrics(*mset, "sim/dcache/tags");
+    if (l2Cache) {
+        l2Cache->replPolicy().recordMetrics(*mset, "sim/l2/repl");
+        l2Cache->tagLayout().recordMetrics(*mset, "sim/l2/tags");
+    }
 
     bus.recordMetrics(*mset);
     mset->timer("sim/run_seconds")

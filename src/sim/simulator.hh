@@ -55,6 +55,9 @@ class Simulator
     /** The data cache (post-run inspection in tests). */
     const Cache &dcache() const { return *dCache; }
 
+    /** The shared L2, when configured (null = single-level). */
+    const Cache *l2cache() const { return l2Cache.get(); }
+
     /** The observer bus (component introspection in tests). */
     const SimHooks &hooks() const { return bus; }
 
@@ -75,6 +78,15 @@ class Simulator
     GovernorChain ichain;
     GovernorChain dchain;
 
+    /**
+     * L2's own controller/chain/array (SimConfig::enableL2 only).
+     * Declared -- and therefore constructed -- before the L1s: they
+     * hold it as their next level.
+     */
+    std::unique_ptr<KaguraController> l2KaguraCtl;
+    GovernorChain l2chain;
+    std::unique_ptr<Cache> l2Cache;
+
     std::unique_ptr<Cache> iCache;
     std::unique_ptr<Cache> dCache;
     std::unique_ptr<Core> core;
@@ -91,6 +103,7 @@ class Simulator
     // Components, held in the canonical registration order.
     std::unique_ptr<TelemetryComponent> telemetry;
     std::unique_ptr<KaguraComponent> kaguraComp;
+    std::unique_ptr<KaguraComponent> l2KaguraComp;
     std::unique_ptr<CompressionStackComponent> compStack;
     std::unique_ptr<DecayComponent> decayComp;
     std::unique_ptr<PrefetchComponent> prefetchComp;

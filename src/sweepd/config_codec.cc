@@ -155,9 +155,33 @@ lineHandlers()
                     (cfg.*cache).tagLayout = *layout;
                     return true;
                 });
+            // Same conditional-emission story: only non-default
+            // widths (6 is the default) carry this line.
+            add((base + ".sig_bits").c_str(),
+                [cache](SimConfig &cfg, std::string_view v) {
+                    return parseU32(v, (cfg.*cache).sigBits);
+                });
         };
         addCache("icache", &SimConfig::icache);
         addCache("dcache", &SimConfig::dcache);
+
+        // The optional shared L2 (emitted as a block only when
+        // l2.enabled=1; an l2.* line without it fails the round-trip
+        // law, keeping one canonical key per configuration).
+        addCache("l2", &SimConfig::l2);
+        add("l2.enabled", [](SimConfig &cfg, std::string_view v) {
+            return parseBool(v, cfg.enableL2);
+        });
+        add("l2.governor", [](SimConfig &cfg, std::string_view v) {
+            const auto kind = parseGovernorKind(v);
+            if (!kind)
+                return false;
+            cfg.l2Governor = *kind;
+            return true;
+        });
+        add("l2.kagura", [](SimConfig &cfg, std::string_view v) {
+            return parseBool(v, cfg.l2Kagura);
+        });
 
         add("governor", [](SimConfig &cfg, std::string_view v) {
             const auto kind = parseGovernorKind(v);
@@ -524,8 +548,9 @@ parseReplacementPolicy(std::string_view name)
     // added after the seed; an unknown spelling stays nullopt so the
     // caller reports a typed Malformed BadJob, never a fallback.
     static constexpr ReplKind values[] = {
-        ReplKind::Lru,  ReplKind::Fifo,  ReplKind::Random,
-        ReplKind::Camp, ReplKind::Crrip, ReplKind::SizeOptgen};
+        ReplKind::Lru,   ReplKind::Fifo,  ReplKind::Random,
+        ReplKind::Camp,  ReplKind::Crrip, ReplKind::SizeOptgen,
+        ReplKind::Dish};
     return invertName(name, values, replacementPolicyName);
 }
 
@@ -552,6 +577,66 @@ parseTriggerKind(std::string_view name)
     static constexpr TriggerKind values[] = {TriggerKind::Memory,
                                              TriggerKind::Voltage};
     return invertName(name, values, triggerKindName);
+}
+
+bool
+applyL2Spec(std::string_view spec, SimConfig &cfg, std::string &error)
+{
+    if (iequals(spec, "none")) {
+        cfg.enableL2 = false;
+        cfg.l2Governor = GovernorKind::None;
+        cfg.l2Kagura = false;
+        return true;
+    }
+
+    // SIZExWAYS[:GOVERNOR[+kagura]]
+    std::string_view geometry = spec;
+    std::string_view governor;
+    const std::size_t colon = spec.find(':');
+    if (colon != std::string_view::npos) {
+        geometry = spec.substr(0, colon);
+        governor = spec.substr(colon + 1);
+    }
+
+    const std::size_t x = geometry.find('x');
+    unsigned size = 0;
+    unsigned ways = 0;
+    if (x == std::string_view::npos ||
+        !parseU32(geometry.substr(0, x), size) ||
+        !parseU32(geometry.substr(x + 1), ways) || size == 0 ||
+        ways == 0) {
+        error = "bad L2 geometry '" + std::string(spec) +
+                "' (want none | SIZExWAYS[:GOVERNOR[+kagura]])";
+        return false;
+    }
+
+    cfg.enableL2 = true;
+    cfg.l2.sizeBytes = size;
+    cfg.l2.ways = ways;
+    cfg.l2Governor = GovernorKind::None;
+    cfg.l2Kagura = false;
+    if (colon == std::string_view::npos)
+        return true;
+
+    bool kagura = false;
+    const std::size_t plus = governor.find('+');
+    if (plus != std::string_view::npos) {
+        if (!iequals(governor.substr(plus + 1), "kagura")) {
+            error = "bad L2 suffix '" + std::string(spec) +
+                    "' (only '+kagura' may follow the governor)";
+            return false;
+        }
+        kagura = true;
+        governor = governor.substr(0, plus);
+    }
+    const auto kind = parseGovernorKind(governor);
+    if (!kind || *kind == GovernorKind::None) {
+        error = "bad L2 governor in '" + std::string(spec) + "'";
+        return false;
+    }
+    cfg.l2Governor = *kind;
+    cfg.l2Kagura = kagura;
+    return true;
 }
 
 } // namespace sweepd

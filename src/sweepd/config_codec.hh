@@ -72,6 +72,20 @@ std::optional<TagLayoutKind> parseTagLayout(std::string_view name);
 std::optional<AdaptScheme> parseAdaptScheme(std::string_view name);
 std::optional<TriggerKind> parseTriggerKind(std::string_view name);
 
+/**
+ * Apply a shared-L2 level spec, the axis grammar of
+ * `kagura_sweep grid --l2` and `kagura_sim --l2`:
+ *
+ *     none | SIZExWAYS[:GOVERNOR[+kagura]]
+ *
+ * e.g. "1024x4", "1024x4:acc", "1024x4:acc+kagura". "none" keeps the
+ * config single-level. Returns false (and describes the problem in
+ * @p error) on a malformed spec -- callers fail typed (the grid CLI
+ * fatals, the daemon answers BadJob), never fall back silently.
+ */
+bool applyL2Spec(std::string_view spec, SimConfig &cfg,
+                 std::string &error);
+
 } // namespace sweepd
 } // namespace kagura
 

@@ -65,6 +65,8 @@ struct TagGeometry
     unsigned slotsPerSet = 0; ///< line slots per set (2x ways)
     unsigned blockSize = 0;
     unsigned segmentBytes = 0;
+    /** Signature width in bits (SignatureTags only; 1..16). */
+    unsigned sigBits = 6;
 };
 
 /**

@@ -11,15 +11,18 @@ SignatureTags::SignatureTags(const TagGeometry &geometry)
     : TagLayout(geometry, 0),
       entries(static_cast<std::size_t>(geometry.sets) *
               geometry.slotsPerSet),
-      liveCnt(geometry.sets, 0)
+      liveCnt(geometry.sets, 0), bits(geometry.sigBits)
 {
+    if (bits < 1 || bits > 16)
+        panic("SignatureTags: signature width %u out of range (1..16)",
+              bits);
 }
 
 std::size_t
 SignatureTags::lookup(unsigned set, std::uint64_t tag,
                       unsigned *rechecks) const
 {
-    const std::uint8_t sig = signatureOf(tag);
+    const std::uint16_t sig = signatureOf(tag, bits);
     for (std::size_t slot = 0; slot < geom.slotsPerSet; ++slot) {
         const Entry &entry = entries[at(set, slot)];
         if (!entry.valid || entry.sig != sig)
@@ -52,7 +55,7 @@ SignatureTags::allocate(unsigned set, std::uint64_t tag,
         if (entry.valid)
             continue;
         entry.valid = true;
-        entry.sig = signatureOf(tag);
+        entry.sig = signatureOf(tag, bits);
         entry.tag = tag;
         ++liveCnt[set];
         ++stat.occupancySamples;
@@ -122,7 +125,7 @@ SignatureTags::selfCheck() const
             if (!entry.valid)
                 continue;
             ++live;
-            if (entry.sig != signatureOf(entry.tag))
+            if (entry.sig != signatureOf(entry.tag, bits))
                 panic("SignatureTags: stored signature drifted (set "
                       "%u slot %zu)",
                       set, slot);

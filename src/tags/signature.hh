@@ -30,8 +30,9 @@ namespace tags
 class SignatureTags : public TagLayout
 {
   public:
-    /// Signature width. 6 bits keeps false positives observable at
-    /// kagura-scale set counts without flooding the re-check path.
+    /// Default signature width (TagGeometry::sigBits overrides). 6
+    /// bits keeps false positives observable at kagura-scale set
+    /// counts without flooding the re-check path.
     static constexpr unsigned signatureBits = 6;
 
     explicit SignatureTags(const TagGeometry &geometry);
@@ -41,15 +42,25 @@ class SignatureTags : public TagLayout
         return TagLayoutKind::Signature;
     }
 
-    /** The short hash a tag files under (exposed for tests). */
-    static std::uint8_t
-    signatureOf(std::uint64_t tag)
+    /** The short hash a tag files under at width @p bits. */
+    static std::uint16_t
+    signatureOf(std::uint64_t tag, unsigned bits)
     {
         // Fibonacci-hash mix so dense tag sequences spread across
         // the signature space instead of aliasing modulo 2^bits.
-        return static_cast<std::uint8_t>(
-            (tag * 0x9e3779b97f4a7c15ull) >> (64 - signatureBits));
+        return static_cast<std::uint16_t>(
+            (tag * 0x9e3779b97f4a7c15ull) >> (64 - bits));
     }
+
+    /** The default-width hash (exposed for tests). */
+    static std::uint16_t
+    signatureOf(std::uint64_t tag)
+    {
+        return signatureOf(tag, signatureBits);
+    }
+
+    /** The width this instance files under. */
+    unsigned sigBits() const { return bits; }
 
     std::size_t lookup(unsigned set, std::uint64_t tag,
                        unsigned *rechecks) const override;
@@ -69,7 +80,7 @@ class SignatureTags : public TagLayout
     struct Entry
     {
         bool valid = false;
-        std::uint8_t sig = 0;
+        std::uint16_t sig = 0;
         std::uint64_t tag = 0;
     };
 
@@ -80,6 +91,7 @@ class SignatureTags : public TagLayout
 
     std::vector<Entry> entries;    ///< sets x slotsPerSet, flattened
     std::vector<unsigned> liveCnt; ///< valid entries per set
+    unsigned bits;                 ///< signature width for this cache
 };
 
 } // namespace tags

@@ -61,6 +61,7 @@ TEST_F(ReplacementTest, PolicyNames)
     EXPECT_STREQ(replacementPolicyName(ReplKind::Crrip), "CRRIP");
     EXPECT_STREQ(replacementPolicyName(ReplKind::SizeOptgen),
                  "size-optgen");
+    EXPECT_STREQ(replacementPolicyName(ReplKind::Dish), "dish");
     for (ReplKind kind : repl::allReplKinds()) {
         const auto parsed =
             repl::parseReplKind(replacementPolicyName(kind));
@@ -68,8 +69,8 @@ TEST_F(ReplacementTest, PolicyNames)
         EXPECT_EQ(*parsed, kind);
     }
     EXPECT_FALSE(repl::parseReplKind("MRU").has_value());
-    EXPECT_EQ(repl::allReplKinds().count, 6u);
-    EXPECT_EQ(repl::onlineReplKinds().count, 5u);
+    EXPECT_EQ(repl::allReplKinds().count, 7u);
+    EXPECT_EQ(repl::onlineReplKinds().count, 6u);
 }
 
 TEST_F(ReplacementTest, FifoIgnoresHits)

@@ -28,6 +28,7 @@
 #include "runner/runner.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sweepd/config_codec.hh"
 
 using namespace kagura;
 
@@ -65,6 +66,13 @@ usage()
         "  --tag-layout KIND     baseline | superblock | signature\n"
         "                        (I/D tag organization, default\n"
         "                        baseline; see docs/TAGS.md)\n"
+        "  --sig-bits N          signature width in bits for the\n"
+        "                        signature tag layout (default 6)\n"
+        "  --l2 SPEC             shared L2 between the L1s and NVM:\n"
+        "                        none | SIZExWAYS[:GOVERNOR[+kagura]]\n"
+        "                        e.g. 1024x4:acc+kagura (default none;\n"
+        "                        see docs/HIERARCHY.md)\n"
+        "  --l2-tag-layout KIND  L2 tag organization (default baseline)\n"
         "  --nvm KIND            reram | pcm | sttram\n"
         "  --nvm-mb N            NVM capacity in MB     (default 16)\n"
         "  --cap-uf X            capacitance in uF      (default 4.7)\n"
@@ -147,6 +155,15 @@ printReport(const SimResult &r)
                 "compressions\n",
                 r.dcache.missRate() * 100.0,
                 static_cast<unsigned long long>(r.dcache.compressions));
+    if (r.l2cache.accesses) {
+        std::printf("  l2cache                : %.3f%% miss, %llu "
+                    "compressions, %llu writebacks\n",
+                    r.l2cache.missRate() * 100.0,
+                    static_cast<unsigned long long>(
+                        r.l2cache.compressions),
+                    static_cast<unsigned long long>(
+                        r.l2cache.writebacks));
+    }
     if (r.kagura.modeSwitches) {
         std::printf("  Kagura                 : %llu RM switches, %llu "
                     "mem ops in RM, %llu rewards / %llu punishments\n",
@@ -281,6 +298,25 @@ main(int argc, char **argv)
                 badValue("--tag-layout", v);
             cfg.icache.tagLayout = *kind;
             cfg.dcache.tagLayout = *kind;
+        } else if (is("--sig-bits")) {
+            const char *v = nextArg(argc, argv, i);
+            const int bits = std::atoi(v);
+            if (bits < 1)
+                badValue("--sig-bits", v);
+            cfg.icache.sigBits = static_cast<unsigned>(bits);
+            cfg.dcache.sigBits = static_cast<unsigned>(bits);
+            cfg.l2.sigBits = static_cast<unsigned>(bits);
+        } else if (is("--l2")) {
+            const char *v = nextArg(argc, argv, i);
+            std::string error;
+            if (!sweepd::applyL2Spec(v, cfg, error))
+                fatal("--l2: %s", error.c_str());
+        } else if (is("--l2-tag-layout")) {
+            const char *v = nextArg(argc, argv, i);
+            const auto kind = tags::parseTagLayoutKind(v);
+            if (!kind)
+                badValue("--l2-tag-layout", v);
+            cfg.l2.tagLayout = *kind;
         } else if (is("--nvm")) {
             const std::string v = nextArg(argc, argv, i);
             if (v == "reram")

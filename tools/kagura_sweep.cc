@@ -62,8 +62,10 @@ usage()
         "status\n"
         "  print pool width, client/batch counts, cache counters\n"
         "grid [--apps A,B|all] [--compressors C,..] [--ehs E,..]\n"
-        "     [--cap-uf X,..] [--traces T,..] [--seeds N] [--kagura]\n"
-        "     [--manifest ID] [--local]\n"
+        "     [--cap-uf X,..] [--traces T,..] [--l2 L,..] [--seeds N]\n"
+        "     [--kagura] [--manifest ID] [--local]\n"
+        "  an --l2 axis value is none or SIZExWAYS[:GOVERNOR[+kagura]]\n"
+        "  (e.g. none,1024x4,1024x4:acc+kagura)\n"
         "  expand the cross product and run it (via the daemon, or\n"
         "  in-process with --local / when the daemon is unreachable)\n"
         "cache stats [--dir PATH]\n"
@@ -344,6 +346,7 @@ cmdGrid(const std::string &socket, Args &args)
     std::vector<std::string> ehsKinds = {"nvsramcache"};
     std::vector<double> capUf = {4.7};
     std::vector<std::string> traces = {"rfhome"};
+    std::vector<std::string> l2Specs = {"none"};
     unsigned seeds = 1;
     bool withKagura = false;
     bool local = false;
@@ -363,6 +366,8 @@ cmdGrid(const std::string &socket, Args &args)
                 capUf.push_back(std::atof(item.c_str()));
         } else if (arg == "--traces") {
             traces = splitList(args.value(arg));
+        } else if (arg == "--l2") {
+            l2Specs = splitList(args.value(arg));
         } else if (arg == "--seeds") {
             seeds = static_cast<unsigned>(
                 std::strtoul(args.value(arg).c_str(), nullptr, 10));
@@ -403,6 +408,14 @@ cmdGrid(const std::string &socket, Args &args)
             fatal("grid: unknown trace '%s'", name.c_str());
         traceKinds.push_back(*kind);
     }
+    if (l2Specs.empty())
+        l2Specs = {"none"};
+    for (const std::string &spec : l2Specs) {
+        SimConfig probe;
+        std::string error;
+        if (!sweepd::applyL2Spec(spec, probe, error))
+            fatal("grid: %s", error.c_str());
+    }
 
     std::vector<runner::SimJob> jobs;
     for (const std::string &app : apps) {
@@ -410,6 +423,7 @@ cmdGrid(const std::string &socket, Args &args)
             for (EhsKind e : ehs) {
                 for (double uf : capUf) {
                     for (TraceKind t : traceKinds) {
+                      for (const std::string &l2 : l2Specs) {
                         for (unsigned s = 0; s < seeds; ++s) {
                             runner::SimJob job;
                             job.kind = runner::SimJob::Kind::Plain;
@@ -421,18 +435,22 @@ cmdGrid(const std::string &socket, Args &args)
                             job.config.capacitor.capacitance =
                                 uf * 1e-6;
                             job.config.trace = t;
+                            std::string l2_error;
+                            sweepd::applyL2Spec(l2, job.config,
+                                                l2_error);
                             job.config.traceSeed = suiteSeed(s);
                             jobs.push_back(std::move(job));
                         }
+                      }
                     }
                 }
             }
         }
     }
     inform("grid: %zu jobs (%zu apps x %zu compressors x %zu ehs x "
-           "%zu capacitances x %zu traces x %u seeds)",
+           "%zu capacitances x %zu traces x %zu l2 x %u seeds)",
            jobs.size(), apps.size(), comp.size(), ehs.size(),
-           capUf.size(), traceKinds.size(), seeds);
+           capUf.size(), traceKinds.size(), l2Specs.size(), seeds);
 
     const auto started = std::chrono::steady_clock::now();
     std::vector<SimResult> results;
