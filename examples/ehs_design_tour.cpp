@@ -1,9 +1,10 @@
 /**
  * @file
- * EHS design tour: run one application on all three persistence
+ * EHS design tour: run one application on all five persistence
  * designs (NVSRAMCache JIT checkpointing, NvMR store-through renaming,
- * SweepCache region sweeping), with and without the ACC+Kagura
- * compression stack, and print where each design spends its energy.
+ * SweepCache region sweeping, TaskBased idempotent tasks, SpecPersist
+ * speculative epochs), with and without the ACC+Kagura compression
+ * stack, and print where each design spends its energy.
  *
  * Usage: ehs_design_tour [app]   (default: dijkstra)
  */
@@ -47,7 +48,8 @@ main(int argc, char **argv)
 
     std::printf("EHS design tour -- app '%s'\n", app.c_str());
     for (EhsKind kind :
-         {EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache}) {
+         {EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache,
+          EhsKind::TaskBased, EhsKind::SpecPersist}) {
         std::printf("\n%s\n", ehsKindName(kind));
 
         SimConfig plain = baselineConfig(app);
@@ -71,6 +73,9 @@ main(int argc, char **argv)
     std::printf("\nWhat to look for: NVSRAMCache concentrates "
                 "persistence cost in Ckpt/Restore; NvMR moves it into "
                 "Memory (store-through renaming); SweepCache pays it "
-                "at region boundaries plus rollback re-execution.\n");
+                "at region boundaries plus rollback re-execution; "
+                "TaskBased pays per-task commits plus store "
+                "privatization; SpecPersist hides the epoch drain "
+                "behind execution but squashes on failure.\n");
     return 0;
 }

@@ -3,7 +3,9 @@
 #include "common/logging.hh"
 #include "ehs/nvmr.hh"
 #include "ehs/nvsram.hh"
+#include "ehs/specpersist.hh"
 #include "ehs/sweepcache.hh"
+#include "ehs/taskbased.hh"
 
 namespace kagura
 {
@@ -41,6 +43,10 @@ ehsKindName(EhsKind kind)
         return "NvMR";
       case EhsKind::SweepCache:
         return "SweepCache";
+      case EhsKind::TaskBased:
+        return "TaskBased";
+      case EhsKind::SpecPersist:
+        return "SpecPersist";
     }
     panic("unknown EhsKind %d", static_cast<int>(kind));
 }
@@ -55,6 +61,10 @@ makeEhs(EhsKind kind)
         return std::make_unique<NvmrEhs>();
       case EhsKind::SweepCache:
         return std::make_unique<SweepEhs>();
+      case EhsKind::TaskBased:
+        return std::make_unique<TaskBasedEhs>();
+      case EhsKind::SpecPersist:
+        return std::make_unique<SpecPersistEhs>();
     }
     panic("unknown EhsKind %d", static_cast<int>(kind));
 }

@@ -13,8 +13,24 @@
  *    through a persist buffer at region boundaries; a power failure
  *    rolls execution back to the last boundary and re-executes.
  *
- * The simulator drives these hooks; every cost is returned as cycles +
- * picojoules so the capacitor can be metered uniformly.
+ * Plus two checkpoint-free recovery models from the related work
+ * (docs/EHS.md):
+ *
+ *  - TaskBased (Alpaca-shaped): execution is a chain of idempotent
+ *    tasks; task-shared data is privatized during the task and the
+ *    write-set persists atomically at task commit. A power failure
+ *    flushes nothing -- the open task simply re-executes.
+ *  - SpecPersist (compiler-directed speculative persistence): the
+ *    write-set of each epoch persists asynchronously while the next
+ *    epoch runs speculatively; a power failure squashes the
+ *    speculative work and rolls back to the last fully-persisted
+ *    epoch.
+ *
+ * Every design *declares* its recovery model (commit-boundary kind +
+ * per-level power-failure action, ehs/recovery.hh); the
+ * PowerStateMachine drives only that declaration. The simulator
+ * drives these hooks; every cost is returned as cycles + picojoules
+ * so the capacitor can be metered uniformly.
  */
 
 #ifndef KAGURA_EHS_EHS_HH
@@ -25,6 +41,7 @@
 
 #include "cache/cache.hh"
 #include "common/types.hh"
+#include "ehs/recovery.hh"
 #include "energy/energy_model.hh"
 
 namespace kagura
@@ -36,6 +53,8 @@ enum class EhsKind
     NvsramCache, ///< default baseline
     NvMR,
     SweepCache,
+    TaskBased,   ///< Alpaca-shaped idempotent tasks
+    SpecPersist, ///< speculative epoch persistence
 };
 
 /** Human-readable design name. */
@@ -105,11 +124,37 @@ class EhsDesign
     virtual const char *name() const = 0;
 
     /**
+     * The design's declared recovery model (commit-boundary kind +
+     * per-level power-failure actions). The PowerStateMachine applies
+     * the declared actions itself (applyFailureActions) and hands the
+     * resulting FlushTotals to onPowerFailure -- designs never touch
+     * cache state on the failure path.
+     */
+    virtual const RecoveryModel &recovery() const = 0;
+
+    /**
      * Does the design already pay for a JIT voltage monitor? Designs
      * without one incur the extended-monitor overhead when Kagura's
      * voltage trigger is selected (Section VIII-H2).
      */
     virtual bool hasVoltageMonitor() const = 0;
+
+    /**
+     * 32-bit words of core + controller state this design persists at
+     * its commit boundaries, selected from the platform-assembled
+     * per-component budget. The default persists everything (the JIT
+     * NVFF checkpoint); checkpoint-free designs override to pick only
+     * the components their commit record actually carries. Querying
+     * the budget through the contract (instead of summing at the
+     * construction site) is what keeps a new backend from silently
+     * under-counting a component it never heard of.
+     */
+    virtual unsigned
+    checkpointRegisterWords(const RegisterBudget &budget) const
+    {
+        return budget.core + budget.l1Gcp + budget.kagura +
+               budget.l2Gcp + budget.l2Kagura;
+    }
 
     /** A store committed to @p addr; returns the persistence cost. */
     virtual EhsCost
@@ -135,20 +180,51 @@ class EhsDesign
         return {};
     }
 
-    /** Power failure: persist whatever must survive. */
-    virtual EhsCost onPowerFailure(EhsContext &ctx) = 0;
+    /**
+     * Power failure: the per-level actions declared by recovery()
+     * have already been applied; @p flushed is what they moved.
+     * Persist whatever else must survive and return the cost.
+     */
+    virtual EhsCost onPowerFailure(const FlushTotals &flushed,
+                                   EhsContext &ctx) = 0;
 
     /** Reboot: restore state; returns the cost. */
     virtual EhsCost onReboot(EhsContext &ctx) = 0;
 
     /**
      * Where execution resumes after a reboot: @p failure_index for
-     * JIT designs, the last region boundary for SweepCache.
+     * JIT designs, the last commit boundary for rollback designs.
      */
     virtual std::uint64_t
     resumeIndex(std::uint64_t failure_index) const
     {
         return failure_index;
+    }
+
+    /**
+     * The re-execution cost model's accounting hook: the machine
+     * rolled back from @p failure_index to @p resume_index (ops that
+     * will re-execute). Called after resumeIndex on every non-region
+     * power failure.
+     */
+    virtual void
+    noteRollback(std::uint64_t failure_index,
+                 std::uint64_t resume_index)
+    {
+        (void)failure_index;
+        (void)resume_index;
+    }
+
+    /**
+     * Per-model recovery telemetry (the sim/ehs/... counters): tasks
+     * committed, re-executed ops, speculative squashes. Designs emit
+     * only counters that moved, so designs without recovery activity
+     * add no records.
+     */
+    virtual void
+    recordMetrics(metrics::MetricSet &set) const
+    {
+        (void)set;
     }
 };
 

@@ -1,5 +1,7 @@
 #include "ehs/nvmr.hh"
 
+#include "metrics/registry.hh"
+
 namespace kagura
 {
 
@@ -51,17 +53,26 @@ NvmrEhs::onStore(Addr addr, EhsContext &ctx)
     return cost;
 }
 
-EhsCost
-NvmrEhs::onPowerFailure(EhsContext &ctx)
+const RecoveryModel &
+NvmrEhs::recovery() const
 {
-    // Nothing dirty to flush: drop both caches. A handful of words of
-    // renaming metadata (map-table head, free-list cursor) persist to
+    // Every store already persisted through the map table: nothing
+    // dirty-only lives in SRAM, so all volatile levels simply drop
+    // (ResetCause::PowerLoss).
+    static constexpr RecoveryModel model{CommitBoundary::WriteThrough,
+                                         FailureAction::DropVolatile,
+                                         FailureAction::DropVolatile};
+    return model;
+}
+
+EhsCost
+NvmrEhs::onPowerFailure(const FlushTotals &flushed, EhsContext &ctx)
+{
+    // The machine dropped the caches. A handful of words of renaming
+    // metadata (map-table head, free-list cursor) persist to
     // NVFF-like cells together with the architectural registers --
     // the shared checkpoint formula with zero block writes.
-    ctx.icache.invalidateAll();
-    ctx.dcache.invalidateAll();
-    if (ctx.l2)
-        ctx.l2->invalidateAll();
+    (void)flushed;
 
     // The volatile merge buffer and map-table cache die with power.
     for (std::size_t i = 0; i < mergeEntries; ++i)
@@ -82,6 +93,15 @@ NvmrEhs::onReboot(EhsContext &ctx)
     cost.energy += 145 * ctx.nvm.readEnergy / 8;
     cost.cycles += ctx.energy.rebootLatency + 145;
     return cost;
+}
+
+void
+NvmrEhs::recordMetrics(metrics::MetricSet &set) const
+{
+    if (mergedStores)
+        set.counter("sim/ehs/merge_hits").add(mergedStores);
+    if (mtcMisses)
+        set.counter("sim/ehs/map_misses").add(mtcMisses);
 }
 
 } // namespace kagura

@@ -29,11 +29,14 @@ class NvmrEhs : public EhsDesign
 
     EhsKind kind() const override { return EhsKind::NvMR; }
     const char *name() const override { return "NvMR"; }
+    const RecoveryModel &recovery() const override;
     bool hasVoltageMonitor() const override { return false; }
 
     EhsCost onStore(Addr addr, EhsContext &ctx) override;
-    EhsCost onPowerFailure(EhsContext &ctx) override;
+    EhsCost onPowerFailure(const FlushTotals &flushed,
+                           EhsContext &ctx) override;
     EhsCost onReboot(EhsContext &ctx) override;
+    void recordMetrics(metrics::MetricSet &set) const override;
 
     /** Merge-buffer hits observed (coalesced persists). */
     std::uint64_t mergeHits() const { return mergedStores; }

@@ -3,40 +3,40 @@
 namespace kagura
 {
 
-EhsCost
-NvsramEhs::onPowerFailure(EhsContext &ctx)
+const RecoveryModel &
+NvsramEhs::recovery() const
 {
-    // Flush dirty blocks of both caches to their nonvolatile
-    // counterparts; compressed victims decompress on the way out. The
-    // register file, store buffer, and controller registers ride into
-    // NVFFs as part of the shared checkpoint formula.
-    const FlushOutcome iflush = ctx.icache.flushAndInvalidate();
-    const FlushOutcome dflush = ctx.dcache.flushAndInvalidate();
+    // JIT checkpointing flushes every volatile level on the trip; the
+    // metadata rides out with the data (ResetCause::Flush).
+    static constexpr RecoveryModel model{
+        CommitBoundary::JitCheckpoint, FailureAction::FlushDirty,
+        FailureAction::FlushDirty};
+    return model;
+}
+
+EhsCost
+NvsramEhs::onPowerFailure(const FlushTotals &flushed, EhsContext &ctx)
+{
+    // The machine already flushed dirty blocks of every level to
+    // their nonvolatile counterparts (compressed victims decompressed
+    // on the way out); the register file, store buffer, and
+    // controller registers ride into NVFFs as part of the shared
+    // checkpoint formula.
     if (!ctx.l2) {
-        return ctx.checkpointCost(
-            iflush.nvmBlockWrites + dflush.nvmBlockWrites,
-            iflush.decompressions + dflush.decompressions,
-            ctx.nvm.writeLatency);
+        return ctx.checkpointCost(flushed.nvmBlockWrites,
+                                  flushed.decompressions,
+                                  ctx.nvm.writeLatency);
     }
 
-    // With an L2, the L1 flushes above pushed their dirty blocks into
-    // it (absorbed on an L2 hit, forwarded to NVM on a miss); the
-    // L2's own dirty set then joins the same JIT flush -- its
-    // metadata rides out with the data (ResetCause::Flush).
-    const FlushOutcome l2flush = ctx.l2->flushAndInvalidate();
-    EhsCost cost = ctx.checkpointCost(
-        iflush.nvmBlockWrites + dflush.nvmBlockWrites +
-            l2flush.nvmBlockWrites,
-        iflush.decompressions + dflush.decompressions +
-            l2flush.decompressions,
-        ctx.nvm.writeLatency);
+    EhsCost cost = ctx.checkpointCost(flushed.nvmBlockWrites,
+                                      flushed.decompressions,
+                                      ctx.nvm.writeLatency);
     // Writebacks the L2 absorbed in place cost one SRAM array write
     // each instead of an NVM write.
-    const unsigned absorbed =
-        iflush.absorbedWrites + dflush.absorbedWrites;
-    cost.cycles += absorbed;
-    cost.energy += absorbed * ctx.energy.cacheAccessEnergy(
-                                  ctx.l2->config().sizeBytes);
+    cost.cycles += flushed.absorbedWrites;
+    cost.energy += flushed.absorbedWrites *
+                   ctx.energy.cacheAccessEnergy(
+                       ctx.l2->config().sizeBytes);
     return cost;
 }
 

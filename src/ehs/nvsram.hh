@@ -17,9 +17,11 @@ class NvsramEhs : public EhsDesign
   public:
     EhsKind kind() const override { return EhsKind::NvsramCache; }
     const char *name() const override { return "NVSRAMCache"; }
+    const RecoveryModel &recovery() const override;
     bool hasVoltageMonitor() const override { return true; }
 
-    EhsCost onPowerFailure(EhsContext &ctx) override;
+    EhsCost onPowerFailure(const FlushTotals &flushed,
+                           EhsContext &ctx) override;
     EhsCost onReboot(EhsContext &ctx) override;
 };
 

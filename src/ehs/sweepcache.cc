@@ -1,6 +1,7 @@
 #include "ehs/sweepcache.hh"
 
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 
 namespace kagura
 {
@@ -49,14 +50,24 @@ SweepEhs::onInstructionCommit(std::uint64_t count, std::uint64_t op_index,
     return cost;
 }
 
-EhsCost
-SweepEhs::onPowerFailure(EhsContext &ctx)
+const RecoveryModel &
+SweepEhs::recovery() const
 {
-    // Everything since the boundary is simply lost; the caches drop.
-    ctx.icache.invalidateAll();
-    ctx.dcache.invalidateAll();
-    if (ctx.l2)
-        ctx.l2->invalidateAll();
+    // Everything since the boundary is simply lost on a failure; all
+    // volatile levels drop (ResetCause::PowerLoss) and execution
+    // rolls back to the swept boundary.
+    static constexpr RecoveryModel model{CommitBoundary::RegionSweep,
+                                         FailureAction::DropVolatile,
+                                         FailureAction::DropVolatile};
+    return model;
+}
+
+EhsCost
+SweepEhs::onPowerFailure(const FlushTotals &flushed, EhsContext &ctx)
+{
+    // The machine dropped the caches; nothing else to persist.
+    (void)flushed;
+    (void)ctx;
     return {};
 }
 
@@ -77,6 +88,22 @@ SweepEhs::resumeIndex(std::uint64_t failure_index) const
 {
     (void)failure_index;
     return boundaryIndex;
+}
+
+void
+SweepEhs::noteRollback(std::uint64_t failure_index,
+                       std::uint64_t resume_index)
+{
+    reExecuted += failure_index - resume_index;
+}
+
+void
+SweepEhs::recordMetrics(metrics::MetricSet &set) const
+{
+    if (sweepCount)
+        set.counter("sim/ehs/sweeps").add(sweepCount);
+    if (reExecuted)
+        set.counter("sim/ehs/reexecuted_ops").add(reExecuted);
 }
 
 } // namespace kagura

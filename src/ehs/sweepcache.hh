@@ -27,18 +27,26 @@ class SweepEhs : public EhsDesign
 
     EhsKind kind() const override { return EhsKind::SweepCache; }
     const char *name() const override { return "SweepCache"; }
+    const RecoveryModel &recovery() const override;
     bool hasVoltageMonitor() const override { return false; }
 
     EhsCost onInstructionCommit(std::uint64_t count,
                                 std::uint64_t op_index,
                                 EhsContext &ctx) override;
-    EhsCost onPowerFailure(EhsContext &ctx) override;
+    EhsCost onPowerFailure(const FlushTotals &flushed,
+                           EhsContext &ctx) override;
     EhsCost onReboot(EhsContext &ctx) override;
 
     std::uint64_t resumeIndex(std::uint64_t failure_index) const override;
+    void noteRollback(std::uint64_t failure_index,
+                      std::uint64_t resume_index) override;
+    void recordMetrics(metrics::MetricSet &set) const override;
 
     /** Region sweeps performed. */
     std::uint64_t sweeps() const { return sweepCount; }
+
+    /** Ops re-executed by boundary rollbacks. */
+    std::uint64_t reExecutedOps() const { return reExecuted; }
 
     /** Persist-buffer capacity (entries). */
     static constexpr unsigned persistBufferEntries = 32;
@@ -48,6 +56,7 @@ class SweepEhs : public EhsDesign
     std::uint64_t sinceBoundary = 0;
     std::uint64_t boundaryIndex = 0;
     std::uint64_t sweepCount = 0;
+    std::uint64_t reExecuted = 0;
 };
 
 } // namespace kagura

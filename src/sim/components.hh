@@ -198,6 +198,13 @@ class EhsComponent : public SimComponent
 
     const char *name() const override { return "ehs"; }
 
+    /** Relay the design's `sim/ehs/*` recovery telemetry. */
+    void
+    recordMetrics(metrics::MetricSet &set) override
+    {
+        ehs->recordMetrics(set);
+    }
+
     /** The owned design. */
     EhsDesign &design() { return *ehs; }
 

@@ -101,7 +101,11 @@ PowerStateMachine::powerFail(std::uint64_t op_index)
         return regionStartIndex;
     }
 
-    const EhsCost cost = ehs.onPowerFailure(ctx);
+    // Drive the design's declared recovery model: apply its per-level
+    // failure actions (flush or drop -- the single mutation site in
+    // ehs/recovery.cc), then charge the design for what moved.
+    const FlushTotals totals = applyFailureActions(ehs.recovery(), ctx);
+    const EhsCost cost = ehs.onPowerFailure(totals, ctx);
     meter.spend(EnergyCategory::Checkpoint, cost.energy);
     meter.advanceWall(cost.cycles);
     result.activeCycles += cost.cycles;
@@ -113,7 +117,9 @@ PowerStateMachine::powerFail(std::uint64_t op_index)
 
     closeCycle();
     ++result.powerFailures;
-    return ehs.resumeIndex(op_index);
+    const std::uint64_t resume = ehs.resumeIndex(op_index);
+    ehs.noteRollback(op_index, resume);
+    return resume;
 }
 
 void

@@ -128,17 +128,19 @@ Simulator::Simulator(const SimConfig &config) : cfg(config)
     ehsComp = std::make_unique<EhsComponent>(cfg.ehs);
     bus.attach(*ehsComp);
 
-    // Words saved at a JIT checkpoint: architectural registers, store
-    // buffer, and (when present) Kagura's five registers + counter.
-    regWords = Core::checkpointWords;
+    // Per-component checkpoint register budget; the design picks the
+    // components its commit boundaries persist (ehs/recovery.hh).
+    RegisterBudget reg_budget;
+    reg_budget.core = Core::checkpointWords;
     if (cfg.governor == GovernorKind::Acc)
-        regWords += 2; // one GCP per cache controller
+        reg_budget.l1Gcp = 2; // one GCP per cache controller
     if (cfg.enableKagura)
-        regWords += 6; // five registers + the 2-bit counter
+        reg_budget.kagura = 6; // five registers + the 2-bit counter
     if (cfg.enableL2 && cfg.l2Governor == GovernorKind::Acc)
-        regWords += 1; // the single L2 controller's GCP
+        reg_budget.l2Gcp = 1; // the single L2 controller's GCP
     if (cfg.enableL2 && cfg.l2Kagura)
-        regWords += 6; // the L2's own Kagura register file
+        reg_budget.l2Kagura = 6; // the L2's own Kagura register file
+    regWords = ehsComp->design().checkpointRegisterWords(reg_budget);
 
     psm = std::make_unique<PowerStateMachine>(
         cfg, *meter, *iCache, *dCache, *core, ehsComp->design(), bus,

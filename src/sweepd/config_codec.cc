@@ -520,7 +520,8 @@ std::optional<EhsKind>
 parseEhsKind(std::string_view name)
 {
     static constexpr EhsKind values[] = {
-        EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache};
+        EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache,
+        EhsKind::TaskBased, EhsKind::SpecPersist};
     return invertName(name, values, ehsKindName);
 }
 

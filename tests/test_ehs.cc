@@ -1,8 +1,9 @@
 /**
  * @file
  * Tests for the EHS persistence designs and the NVM model:
- * NVSRAMCache's JIT checkpoint, NvMR's store-through renaming, and
- * SweepCache's region sweeping + rollback.
+ * NVSRAMCache's JIT checkpoint, NvMR's store-through renaming,
+ * SweepCache's region sweeping + rollback, TaskBased's idempotent
+ * task commits, and SpecPersist's speculative epoch persistence.
  */
 
 #include <gtest/gtest.h>
@@ -12,7 +13,9 @@
 #include "ehs/ehs.hh"
 #include "ehs/nvmr.hh"
 #include "ehs/nvsram.hh"
+#include "ehs/specpersist.hh"
 #include "ehs/sweepcache.hh"
+#include "ehs/taskbased.hh"
 #include "mem/nvm.hh"
 
 namespace kagura
@@ -37,6 +40,18 @@ struct EhsTest : testing::Test
         dcache.access(addr, true, b, 4, ++now);
     }
 
+    /**
+     * A power failure as the PowerStateMachine drives it: apply the
+     * design's declared failure actions, then charge the design.
+     */
+    EhsCost
+    failPower(EhsDesign &ehs)
+    {
+        const FlushTotals totals =
+            applyFailureActions(ehs.recovery(), ctx);
+        return ehs.onPowerFailure(totals, ctx);
+    }
+
     CacheConfig cfg{};
     Nvm nvm;
     Cache icache;
@@ -51,7 +66,8 @@ struct EhsTest : testing::Test
 TEST(EhsFactory, ProducesAllDesigns)
 {
     for (EhsKind kind :
-         {EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache}) {
+         {EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache,
+          EhsKind::TaskBased, EhsKind::SpecPersist}) {
         auto design = makeEhs(kind);
         EXPECT_EQ(design->kind(), kind);
         EXPECT_STREQ(design->name(), ehsKindName(kind));
@@ -63,6 +79,33 @@ TEST(EhsFactory, MonitorOwnership)
     EXPECT_TRUE(makeEhs(EhsKind::NvsramCache)->hasVoltageMonitor());
     EXPECT_FALSE(makeEhs(EhsKind::NvMR)->hasVoltageMonitor());
     EXPECT_FALSE(makeEhs(EhsKind::SweepCache)->hasVoltageMonitor());
+    EXPECT_FALSE(makeEhs(EhsKind::TaskBased)->hasVoltageMonitor());
+    EXPECT_FALSE(makeEhs(EhsKind::SpecPersist)->hasVoltageMonitor());
+}
+
+TEST(EhsFactory, DeclaredRecoveryModels)
+{
+    // Only the JIT design flushes at failure; every other boundary
+    // kind drops the volatile levels and re-establishes from its
+    // commit boundary.
+    EXPECT_EQ(makeEhs(EhsKind::NvsramCache)->recovery().boundary,
+              CommitBoundary::JitCheckpoint);
+    EXPECT_EQ(makeEhs(EhsKind::NvsramCache)->recovery().l1Action,
+              FailureAction::FlushDirty);
+    EXPECT_EQ(makeEhs(EhsKind::NvMR)->recovery().boundary,
+              CommitBoundary::WriteThrough);
+    EXPECT_EQ(makeEhs(EhsKind::SweepCache)->recovery().boundary,
+              CommitBoundary::RegionSweep);
+    EXPECT_EQ(makeEhs(EhsKind::TaskBased)->recovery().boundary,
+              CommitBoundary::IdempotentTask);
+    EXPECT_EQ(makeEhs(EhsKind::SpecPersist)->recovery().boundary,
+              CommitBoundary::SpeculativeEpoch);
+    for (EhsKind kind : {EhsKind::NvMR, EhsKind::SweepCache,
+                         EhsKind::TaskBased, EhsKind::SpecPersist}) {
+        const RecoveryModel &model = makeEhs(kind)->recovery();
+        EXPECT_EQ(model.l1Action, FailureAction::DropVolatile);
+        EXPECT_EQ(model.l2Action, FailureAction::DropVolatile);
+    }
 }
 
 // --- NVSRAMCache -----------------------------------------------------------
@@ -72,7 +115,7 @@ TEST_F(EhsTest, NvsramCheckpointFlushesDirtyBlocks)
     NvsramEhs ehs;
     dirtyStore(0x100, 0xaa);
     dirtyStore(0x200, 0xbb);
-    const EhsCost cost = ehs.onPowerFailure(ctx);
+    const EhsCost cost = failPower(ehs);
     EXPECT_EQ(cost.nvmBlockWrites, 2u);
     EXPECT_GT(cost.energy,
               2 * nvm.params().writeEnergy); // flush + registers
@@ -88,7 +131,7 @@ TEST_F(EhsTest, NvsramCleanCheckpointIsCheap)
 {
     NvsramEhs ehs;
     dcache.access(0x100, false, nullptr, 4, 1); // clean fill
-    const EhsCost cost = ehs.onPowerFailure(ctx);
+    const EhsCost cost = failPower(ehs);
     EXPECT_EQ(cost.nvmBlockWrites, 0u);
     // Only register save energy remains.
     EXPECT_NEAR(cost.energy, 36 * energy.nvffWrite, 1e-9);
@@ -142,7 +185,7 @@ TEST_F(EhsTest, NvmrPowerFailureNeedsNoFlush)
     NvmrEhs ehs;
     dirtyStore(0x100, 9);
     ehs.onStore(0x100, ctx);
-    const EhsCost cost = ehs.onPowerFailure(ctx);
+    const EhsCost cost = failPower(ehs);
     EXPECT_EQ(cost.nvmBlockWrites, 0u);
     EXPECT_EQ(dcache.validLines(), 0u);
     // Data still safe.
@@ -187,15 +230,17 @@ TEST_F(EhsTest, SweepRollsBackToTheBoundary)
     SweepEhs ehs(100);
     ehs.onInstructionCommit(100, 40, ctx); // boundary at op 40
     ehs.onInstructionCommit(50, 70, ctx);  // no boundary
-    ehs.onPowerFailure(ctx);
+    failPower(ehs);
     EXPECT_EQ(ehs.resumeIndex(70), 40u);
+    ehs.noteRollback(70, ehs.resumeIndex(70));
+    EXPECT_EQ(ehs.reExecutedOps(), 30u);
 }
 
 TEST_F(EhsTest, SweepPowerFailureDropsCaches)
 {
     SweepEhs ehs(1000);
     dirtyStore(0x100, 1);
-    ehs.onPowerFailure(ctx);
+    failPower(ehs);
     EXPECT_EQ(dcache.validLines(), 0u);
 }
 
@@ -203,6 +248,194 @@ TEST_F(EhsTest, SweepRejectsZeroRegion)
 {
     EXPECT_EXIT({ SweepEhs bad(0); }, testing::ExitedWithCode(1),
                 "region size");
+}
+
+// --- TaskBased ---------------------------------------------------------------
+
+TEST_F(EhsTest, TaskCommitPersistsWriteSetPlusCommitRecord)
+{
+    TaskBasedEhs ehs(100);
+    dirtyStore(0x100, 0x11);
+    EhsCost cost = ehs.onInstructionCommit(99, 10, ctx);
+    EXPECT_EQ(cost.nvmBlockWrites, 0u); // task still open
+    EXPECT_EQ(dcache.dirtyLines(), 1u);
+    cost = ehs.onInstructionCommit(1, 11, ctx);
+    // One dirty block + the commit record, each a full-latency NVM
+    // block write, plus the regWords NVFF save at a word per cycle.
+    EXPECT_EQ(cost.nvmBlockWrites, 2u);
+    EXPECT_EQ(cost.cycles, 2 * nvm.params().writeLatency + 36);
+    EXPECT_NEAR(cost.energy,
+                2 * nvm.params().writeEnergy + 36 * energy.nvffWrite,
+                1e-9);
+    EXPECT_EQ(dcache.dirtyLines(), 0u);
+    EXPECT_TRUE(dcache.contains(0x100)); // persisted, not dropped
+    EXPECT_EQ(ehs.tasksCommitted(), 1u);
+}
+
+TEST_F(EhsTest, TaskPrivatizationChargesFirstStoreToABlockOnly)
+{
+    TaskBasedEhs ehs(100);
+    const EhsCost first = ehs.onStore(0x100, ctx);
+    EXPECT_EQ(ehs.privatizedStores(), 1u);
+    EXPECT_EQ(first.cycles, nvm.params().writeLatency / 4);
+    EXPECT_NEAR(first.energy,
+                nvm.params().readEnergy / 4 +
+                    nvm.params().writeEnergy / 4,
+                1e-9);
+    // Same block again within the task: already privatized.
+    const EhsCost second = ehs.onStore(0x104, ctx);
+    EXPECT_EQ(second.cycles, 0u);
+    EXPECT_NEAR(second.energy, 0.0, 1e-12);
+    EXPECT_EQ(ehs.privatizedStores(), 1u);
+    // The next task privatizes afresh.
+    ehs.onInstructionCommit(100, 50, ctx);
+    ehs.onStore(0x100, ctx);
+    EXPECT_EQ(ehs.privatizedStores(), 2u);
+}
+
+TEST_F(EhsTest, TaskFailureReExecutesOpenTaskFromItsEntry)
+{
+    TaskBasedEhs ehs(100);
+    ehs.onInstructionCommit(100, 40, ctx); // task commit at op 40
+    ehs.onInstructionCommit(50, 70, ctx);  // open task
+    dirtyStore(0x100, 1);
+    const EhsCost cost = failPower(ehs);
+    EXPECT_EQ(cost.nvmBlockWrites, 0u); // nothing flushed
+    EXPECT_EQ(dcache.validLines(), 0u); // caches dropped
+    EXPECT_EQ(ehs.resumeIndex(70), 40u);
+    ehs.noteRollback(70, ehs.resumeIndex(70));
+    EXPECT_EQ(ehs.reExecutedOps(), 30u);
+    // The failure closed the open task: the next 50 instructions do
+    // not cross a boundary that partial progress would have reached.
+    const EhsCost after = ehs.onInstructionCommit(50, 120, ctx);
+    EXPECT_EQ(ehs.tasksCommitted(), 1u);
+    EXPECT_EQ(after.nvmBlockWrites, 0u);
+}
+
+TEST_F(EhsTest, TaskRepeatedFailuresSplitTheReplayTask)
+{
+    TaskBasedEhs ehs(100);
+    failPower(ehs);
+    failPower(ehs); // task died twice: replay length halves to 50
+    ehs.onInstructionCommit(49, 49, ctx);
+    EXPECT_EQ(ehs.tasksCommitted(), 0u);
+    ehs.onInstructionCommit(1, 50, ctx);
+    EXPECT_EQ(ehs.tasksCommitted(), 1u);
+    EXPECT_EQ(ehs.splitCommits(), 1u);
+    EXPECT_EQ(ehs.resumeIndex(60), 50u);
+    // A successful commit restores the full task length.
+    ehs.onInstructionCommit(99, 149, ctx);
+    EXPECT_EQ(ehs.tasksCommitted(), 1u);
+    ehs.onInstructionCommit(1, 150, ctx);
+    EXPECT_EQ(ehs.tasksCommitted(), 2u);
+    EXPECT_EQ(ehs.splitCommits(), 1u);
+}
+
+TEST_F(EhsTest, TaskRejectsZeroSize)
+{
+    EXPECT_EXIT({ TaskBasedEhs bad(0); }, testing::ExitedWithCode(1),
+                "task size");
+}
+
+// --- SpecPersist -------------------------------------------------------------
+
+TEST_F(EhsTest, SpecDurablePointTrailsTheDrainByOneEpoch)
+{
+    SpecPersistEhs ehs(100);
+    ehs.onInstructionCommit(100, 10, ctx); // epoch 1 starts draining
+    EXPECT_EQ(ehs.epochsCommitted(), 1u);
+    EXPECT_EQ(ehs.resumeIndex(15), 0u); // drain not yet durable
+    ehs.onInstructionCommit(100, 20, ctx); // epoch 1 durable now
+    EXPECT_EQ(ehs.resumeIndex(25), 10u);
+}
+
+TEST_F(EhsTest, SpecEpochDrainOverlapsExecution)
+{
+    SpecPersistEhs ehs(100);
+    dirtyStore(0x100, 7);
+    const EhsCost cost = ehs.onInstructionCommit(100, 10, ctx);
+    // The async drain hides three quarters of each write's latency.
+    EXPECT_EQ(cost.nvmBlockWrites, 1u);
+    EXPECT_EQ(cost.cycles, nvm.params().writeLatency / 4 + 36);
+    EXPECT_NEAR(cost.energy,
+                nvm.params().writeEnergy + 36 * energy.nvffWrite,
+                1e-9);
+    EXPECT_EQ(dcache.dirtyLines(), 0u);
+}
+
+TEST_F(EhsTest, SpecSquashPaysVerifyScanOverTheDrainSet)
+{
+    SpecPersistEhs ehs(100);
+    dirtyStore(0x100, 1);
+    dirtyStore(0x200, 2);
+    ehs.onInstructionCommit(100, 10, ctx); // 2 blocks in flight
+    const EhsCost cost = failPower(ehs);
+    EXPECT_EQ(ehs.squashes(), 1u);
+    EXPECT_EQ(cost.cycles, 2u); // one verify read per block
+    EXPECT_NEAR(cost.energy, 2 * nvm.params().readEnergy / 8, 1e-9);
+    EXPECT_EQ(dcache.validLines(), 0u);
+    // The squash discarded the in-flight drain: a second failure has
+    // nothing left to verify.
+    const EhsCost again = failPower(ehs);
+    EXPECT_EQ(again.cycles, 0u);
+    EXPECT_EQ(ehs.squashes(), 2u);
+}
+
+TEST_F(EhsTest, SpecRollbackSpansUpToTwoEpochs)
+{
+    SpecPersistEhs ehs(100);
+    ehs.onInstructionCommit(100, 10, ctx);
+    ehs.onInstructionCommit(100, 20, ctx); // persisted=10, draining=20
+    failPower(ehs);
+    EXPECT_EQ(ehs.resumeIndex(25), 10u);
+    ehs.noteRollback(25, ehs.resumeIndex(25));
+    EXPECT_EQ(ehs.reExecutedOps(), 15u);
+    // Recovery re-executes non-speculatively: the first boundary after
+    // the squash persists synchronously and the durable point advances
+    // with it — one epoch per power cycle suffices for progress.
+    ehs.onInstructionCommit(100, 35, ctx);
+    EXPECT_EQ(ehs.resumeIndex(40), 35u);
+    EXPECT_EQ(ehs.recoveryCommits(), 1u);
+}
+
+TEST_F(EhsTest, SpecRecoveryCommitDrainsSynchronously)
+{
+    SpecPersistEhs ehs(100);
+    failPower(ehs);
+    dirtyStore(0x100, 7);
+    const EhsCost cost = ehs.onInstructionCommit(100, 10, ctx);
+    // No async overlap in recovery mode: the full write latency shows.
+    EXPECT_EQ(cost.nvmBlockWrites, 1u);
+    EXPECT_EQ(cost.cycles, nvm.params().writeLatency + 36);
+    EXPECT_EQ(ehs.resumeIndex(15), 10u); // durable immediately
+    // Nothing is left in flight, so a failure right after verifies 0.
+    EXPECT_EQ(failPower(ehs).cycles, 0u);
+}
+
+TEST_F(EhsTest, SpecRepeatedSquashesShortenTheRecoveryEpoch)
+{
+    SpecPersistEhs ehs(100);
+    failPower(ehs);
+    failPower(ehs); // two consecutive squashes: recovery epoch is 50
+    ehs.onInstructionCommit(49, 49, ctx);
+    EXPECT_EQ(ehs.epochsCommitted(), 0u);
+    ehs.onInstructionCommit(1, 50, ctx);
+    EXPECT_EQ(ehs.epochsCommitted(), 1u);
+    EXPECT_EQ(ehs.resumeIndex(60), 50u);
+    // A durable advance restores the full epoch length: the next
+    // boundary is 100 instructions out, and its drain is speculative
+    // again (not yet durable).
+    ehs.onInstructionCommit(99, 149, ctx);
+    EXPECT_EQ(ehs.epochsCommitted(), 1u);
+    ehs.onInstructionCommit(1, 150, ctx);
+    EXPECT_EQ(ehs.epochsCommitted(), 2u);
+    EXPECT_EQ(ehs.resumeIndex(160), 50u);
+}
+
+TEST_F(EhsTest, SpecRejectsZeroEpoch)
+{
+    EXPECT_EXIT({ SpecPersistEhs bad(0); }, testing::ExitedWithCode(1),
+                "epoch size");
 }
 
 // --- NVM ----------------------------------------------------------------------

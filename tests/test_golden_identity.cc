@@ -174,7 +174,8 @@ TEST(GoldenIdentity, EhsDesignsAreExactlyReproducible)
     // simulator must stay deterministic run-to-run, not just match a
     // one-time fingerprint.
     for (EhsKind kind :
-         {EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache}) {
+         {EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache,
+          EhsKind::TaskBased, EhsKind::SpecPersist}) {
         const SimConfig config = ehsConfig("crc32", kind);
         Simulator first(config);
         Simulator second(config);

@@ -214,7 +214,8 @@ TEST_F(QuietTests, VoltageTriggerRuns)
 TEST_F(QuietTests, AllEhsDesignsComplete)
 {
     for (EhsKind kind :
-         {EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache}) {
+         {EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache,
+          EhsKind::TaskBased, EhsKind::SpecPersist}) {
         SimConfig cfg = smallConfig();
         cfg.ehs = kind;
         Simulator sim(cfg);
@@ -226,15 +227,20 @@ TEST_F(QuietTests, AllEhsDesignsComplete)
     }
 }
 
-TEST_F(QuietTests, SweepCacheReExecutesAfterFailures)
+TEST_F(QuietTests, RollbackDesignsReExecuteAfterFailures)
 {
-    SimConfig cfg = smallConfig();
-    cfg.ehs = EhsKind::SweepCache;
-    Simulator sim(cfg);
-    const SimResult r = sim.run();
-    // Rollback re-execution commits more instructions than the trace.
-    EXPECT_GT(r.committedInstructions,
-              cachedWorkload("crc32").committedInstructions());
+    for (EhsKind kind : {EhsKind::SweepCache, EhsKind::TaskBased,
+                         EhsKind::SpecPersist}) {
+        SimConfig cfg = smallConfig();
+        cfg.ehs = kind;
+        Simulator sim(cfg);
+        const SimResult r = sim.run();
+        // Rollback re-execution commits more instructions than the
+        // trace holds.
+        EXPECT_GT(r.committedInstructions,
+                  cachedWorkload("crc32").committedInstructions())
+            << ehsKindName(kind);
+    }
 }
 
 TEST_F(QuietTests, DecayAndPrefetchRun)

@@ -449,6 +449,39 @@ TEST_F(SweepdTests, DistinctPoliciesProduceDistinctCanonicalKeys)
     EXPECT_EQ(keys.size(), repl::allReplKinds().count);
 }
 
+TEST_F(SweepdTests, EveryEhsKindRoundTripsThroughCodec)
+{
+    // The round-trip law must cover every EHS design, including the
+    // TaskBased and SpecPersist recovery models added after the seed.
+    for (EhsKind kind :
+         {EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache,
+          EhsKind::TaskBased, EhsKind::SpecPersist}) {
+        SimConfig config = baselineConfig("crc32");
+        config.ehs = kind;
+        const std::string key = config.canonicalKey();
+        SimConfig parsed;
+        std::string error;
+        ASSERT_EQ(sweepd::parseCanonicalKey(key, parsed, error),
+                  sweepd::ParseStatus::Ok)
+            << ehsKindName(kind) << ": " << error;
+        EXPECT_EQ(parsed.canonicalKey(), key) << ehsKindName(kind);
+        EXPECT_EQ(parsed.ehs, kind);
+    }
+}
+
+TEST_F(SweepdTests, DistinctEhsKindsProduceDistinctCanonicalKeys)
+{
+    std::set<std::string> keys;
+    for (EhsKind kind :
+         {EhsKind::NvsramCache, EhsKind::NvMR, EhsKind::SweepCache,
+          EhsKind::TaskBased, EhsKind::SpecPersist}) {
+        SimConfig config = baselineConfig("crc32");
+        config.ehs = kind;
+        keys.insert(config.canonicalKey());
+    }
+    EXPECT_EQ(keys.size(), 5u);
+}
+
 TEST_F(SweepdTests, ConfigCodecRejectsMalformedKeys)
 {
     SimConfig parsed;
@@ -470,6 +503,12 @@ TEST_F(SweepdTests, ConfigCodecRejectsMalformedKeys)
     EXPECT_EQ(sweepd::parseCanonicalKey(
                   "workload=crc32\ndcache.replacement=MRU\n", parsed,
                   error),
+              sweepd::ParseStatus::Malformed);
+
+    // Unknown EHS design name: same typed rejection, never a silent
+    // fallback to the NVSRAMCache baseline.
+    EXPECT_EQ(sweepd::parseCanonicalKey("workload=crc32\nehs=Alpaca\n",
+                                        parsed, error),
               sweepd::ParseStatus::Malformed);
 
     // Missing trailing newline.

@@ -59,7 +59,8 @@ usage()
         "  --ideal               two-phase ideal oracle (aware)\n"
         "\n"
         "platform:\n"
-        "  --ehs KIND            nvsram | nvmr | sweepcache\n"
+        "  --ehs KIND            nvsram | nvmr | sweepcache |\n"
+        "                        taskbased | specpersist\n"
         "  --cache-bytes N       I/D cache size each    (default 256)\n"
         "  --ways N              associativity          (default 2)\n"
         "  --block-bytes N       cache block size       (default 32)\n"
@@ -274,6 +275,10 @@ main(int argc, char **argv)
                 cfg.ehs = EhsKind::NvMR;
             else if (v == "sweepcache")
                 cfg.ehs = EhsKind::SweepCache;
+            else if (v == "taskbased")
+                cfg.ehs = EhsKind::TaskBased;
+            else if (v == "specpersist")
+                cfg.ehs = EhsKind::SpecPersist;
             else
                 badValue("--ehs", v.c_str());
         } else if (is("--cache-bytes")) {

@@ -65,7 +65,8 @@ usage()
         "     [--cap-uf X,..] [--traces T,..] [--l2 L,..] [--seeds N]\n"
         "     [--kagura] [--manifest ID] [--local]\n"
         "  an --l2 axis value is none or SIZExWAYS[:GOVERNOR[+kagura]]\n"
-        "  (e.g. none,1024x4,1024x4:acc+kagura)\n"
+        "  (e.g. none,1024x4,1024x4:acc+kagura); --ehs values are\n"
+        "  nvsramcache,nvmr,sweepcache,taskbased,specpersist\n"
         "  expand the cross product and run it (via the daemon, or\n"
         "  in-process with --local / when the daemon is unreachable)\n"
         "cache stats [--dir PATH]\n"
